@@ -1,0 +1,101 @@
+package immune_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"immune"
+)
+
+// register is a minimal deterministic servant: a single replicated value.
+type register struct {
+	value int64
+}
+
+func (r *register) Invoke(op string, args []byte) ([]byte, error) {
+	if op == "set" {
+		v, err := immune.NewDecoder(args).ReadLongLong()
+		if err != nil {
+			return nil, err
+		}
+		r.value = v
+	}
+	e := immune.NewEncoder()
+	e.WriteLongLong(r.value)
+	return e.Bytes(), nil
+}
+
+func (r *register) Snapshot() []byte {
+	e := immune.NewEncoder()
+	e.WriteLongLong(r.value)
+	return e.Bytes()
+}
+
+func (r *register) Restore(snap []byte) error {
+	v, err := immune.NewDecoder(snap).ReadLongLong()
+	if err != nil {
+		return err
+	}
+	r.value = v
+	return nil
+}
+
+// Example deploys a three-way replicated register and reads back a
+// majority-voted value through a CORBA-style stub.
+func Example() {
+	sys, err := immune.New(immune.Config{Processors: 6, Seed: 123})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+
+	const (
+		serverGroup = immune.GroupID(1)
+		clientGroup = immune.GroupID(2)
+	)
+
+	// The replicated server: one replica on each of P1..P3.
+	for pid := immune.ProcessorID(1); pid <= 3; pid++ {
+		p, err := sys.Processor(pid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		replica, err := p.HostServer(serverGroup, "Register/main", &register{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := replica.WaitActive(10 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One client replica is enough for this example (degree-1 client
+	// group); production deployments replicate the client too.
+	p, err := sys.Processor(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := p.NewClient(clientGroup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client.Bind("Register/main", serverGroup)
+	if err := client.Replica().WaitActive(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	args := immune.NewEncoder()
+	args.WriteLongLong(42)
+	body, err := client.Object("Register/main").Invoke("set", args.Bytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := immune.NewDecoder(body).ReadLongLong()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v)
+	// Output: 42
+}

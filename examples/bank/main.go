@@ -1,0 +1,217 @@
+// Command bank demonstrates survivability under a value fault (Table 1:
+// "incorrect value for invocation (response) received from a particular
+// client (server) replica"): a three-way replicated bank account keeps
+// answering correctly while one of its replicas is corrupted and lies
+// about balances; the value fault detector then identifies the corrupt
+// replica's processor and the membership protocol excludes it — the full
+// §6.2 pipeline.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"immune"
+)
+
+// accountServant is a deterministic replicated bank account. Setting
+// corrupt makes it report inflated balances — a value-faulty replica.
+type accountServant struct {
+	mu      sync.Mutex
+	balance int64
+	corrupt bool
+}
+
+func (a *accountServant) Invoke(op string, args []byte) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch op {
+	case "deposit":
+		amount, err := immune.NewDecoder(args).ReadLongLong()
+		if err != nil {
+			return nil, err
+		}
+		a.balance += amount
+	case "withdraw":
+		amount, err := immune.NewDecoder(args).ReadLongLong()
+		if err != nil {
+			return nil, err
+		}
+		if amount > a.balance {
+			return nil, errors.New("insufficient funds")
+		}
+		a.balance -= amount
+	case "balance":
+	default:
+		return nil, fmt.Errorf("unknown operation %q", op)
+	}
+	e := immune.NewEncoder()
+	if a.corrupt {
+		e.WriteLongLong(a.balance * 1000) // the lie
+	} else {
+		e.WriteLongLong(a.balance)
+	}
+	return e.Bytes(), nil
+}
+
+func (a *accountServant) Snapshot() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := immune.NewEncoder()
+	e.WriteLongLong(a.balance)
+	return e.Bytes()
+}
+
+func (a *accountServant) Restore(snap []byte) error {
+	v, err := immune.NewDecoder(snap).ReadLongLong()
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance = v
+	return nil
+}
+
+const (
+	accountGroup = immune.GroupID(1)
+	tellerGroup  = immune.GroupID(2)
+	accountKey   = "Account/alice"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := immune.New(immune.Config{
+		Processors:     6,
+		Seed:           2,
+		SuspectTimeout: 40 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	sys.Start()
+	defer sys.Stop()
+
+	// Replicated account on P1..P3; keep handles on the servants so we
+	// can corrupt one later.
+	servants := map[immune.ProcessorID]*accountServant{}
+	for pid := immune.ProcessorID(1); pid <= 3; pid++ {
+		p, err := sys.Processor(pid)
+		if err != nil {
+			return err
+		}
+		sv := &accountServant{}
+		servants[pid] = sv
+		replica, err := p.HostServer(accountGroup, accountKey, sv)
+		if err != nil {
+			return err
+		}
+		if err := replica.WaitActive(10 * time.Second); err != nil {
+			return err
+		}
+	}
+
+	// Replicated teller (the client) on P4..P6.
+	var tellers []*immune.Client
+	for pid := immune.ProcessorID(4); pid <= 6; pid++ {
+		p, err := sys.Processor(pid)
+		if err != nil {
+			return err
+		}
+		c, err := p.NewClient(tellerGroup)
+		if err != nil {
+			return err
+		}
+		c.Bind(accountKey, accountGroup)
+		if err := c.Replica().WaitActive(10 * time.Second); err != nil {
+			return err
+		}
+		tellers = append(tellers, c)
+	}
+
+	call := func(op string, amount int64) ([]int64, error) {
+		args := immune.NewEncoder()
+		args.WriteLongLong(amount)
+		out := make([]int64, len(tellers))
+		errs := make([]error, len(tellers))
+		var wg sync.WaitGroup
+		for i, c := range tellers {
+			wg.Add(1)
+			go func(i int, c *immune.Client) {
+				defer wg.Done()
+				body, err := c.Object(accountKey).Invoke(op, args.Bytes())
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				out[i], errs[i] = immune.NewDecoder(body).ReadLongLong()
+			}(i, c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	balances, err := call("deposit", 100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deposit 100 -> voted balances %v\n", balances)
+
+	// Corrupt the replica on P2: from now on it reports balances ×1000.
+	servants[2].mu.Lock()
+	servants[2].corrupt = true
+	servants[2].mu.Unlock()
+	fmt.Println("replica on P2 is now corrupted (reports balance*1000)")
+
+	balances, err = call("balance", 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("balance query with corrupt replica -> voted balances %v (majority voting masks the lie)\n", balances)
+
+	// Keep traffic flowing until the value fault detector's evidence
+	// excludes P2 from the processor membership (§6.2).
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		p1, err := sys.Processor(1)
+		if err != nil {
+			return err
+		}
+		view := p1.View().Members
+		excluded := true
+		for _, m := range view {
+			if m == 2 {
+				excluded = false
+			}
+		}
+		if excluded {
+			fmt.Printf("P2 excluded from the membership: %v\n", view)
+			fmt.Printf("account group is now %v\n", p1.GroupMembers(accountGroup))
+			break
+		}
+		if _, err := call("balance", 0); err != nil {
+			return err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	balances, err = call("withdraw", 30)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("withdraw 30 after exclusion -> voted balances %v\n", balances)
+	return nil
+}

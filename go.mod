@@ -1,0 +1,3 @@
+module immune
+
+go 1.22

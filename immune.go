@@ -1,0 +1,351 @@
+// Package immune is a Go reproduction of the Immune system (P. Narasimhan,
+// K. P. Kihlstrom, L. E. Moser, P. M. Melliar-Smith: "Providing Support
+// for Survivable CORBA Applications with the Immune System", ICDCS 1999).
+//
+// The Immune system makes CORBA applications survivable: they continue to
+// operate despite malicious attacks, accidents, or faults. Every object —
+// client and server alike — is actively replicated over an object group,
+// majority voting is applied to all invocations and responses, and the
+// underlying Secure Multicast Protocols (a signed token ring with a
+// processor membership protocol and a Byzantine fault detector) provide
+// secure reliable totally ordered message delivery even when processors
+// are corrupted.
+//
+// A minimal survivable deployment:
+//
+//	sys, err := immune.New(immune.Config{Processors: 6})
+//	// handle err
+//	sys.Start()
+//	defer sys.Stop()
+//
+//	// Three-way replicated server on processors 1..3.
+//	for pid := immune.ProcessorID(1); pid <= 3; pid++ {
+//		p, _ := sys.Processor(pid)
+//		replica, _ := p.HostServer(serverGroup, "Account/main", newAccountServant())
+//		replica.WaitActive(5 * time.Second)
+//	}
+//
+//	// Three-way replicated client on processors 4..6; each client
+//	// replica runs the same deterministic code.
+//	p, _ := sys.Processor(4)
+//	client, _ := p.NewClient(clientGroup)
+//	client.Bind("Account/main", serverGroup)
+//	obj := client.Object("Account/main")
+//	reply, err := obj.Invoke("deposit", args) // majority-voted
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package immune
+
+import (
+	"fmt"
+	"time"
+
+	"immune/internal/core"
+	"immune/internal/ids"
+	"immune/internal/iiop"
+	"immune/internal/interceptor"
+	"immune/internal/membership"
+	"immune/internal/netsim"
+	"immune/internal/orb"
+	"immune/internal/replication"
+	"immune/internal/ring"
+	"immune/internal/sec"
+)
+
+// Identifier types (see the paper's system model, §3 and §5.1).
+type (
+	// ProcessorID identifies one simulated processor.
+	ProcessorID = ids.ProcessorID
+	// GroupID identifies an object group (one actively replicated
+	// object). GroupID 0 is reserved for the base group.
+	GroupID = ids.ObjectGroupID
+	// ReplicaID identifies one member (replica) of an object group.
+	ReplicaID = ids.ReplicaID
+)
+
+// Servant is the contract for replicated object implementations: a
+// deterministic Invoke plus state snapshot/restore for replica
+// reallocation. See orb.Servant for the full documentation.
+type Servant = orb.Servant
+
+// Level selects the survivability level, matching the paper's evaluation
+// cases (Figure 7).
+type Level = sec.Level
+
+// Survivability levels.
+const (
+	// LevelNone: active replication over reliable totally ordered
+	// multicast, no digests or signatures (case 2).
+	LevelNone = sec.LevelNone
+	// LevelDigests: + message digests in the token (case 3).
+	LevelDigests = sec.LevelDigests
+	// LevelSignatures: + digitally signed tokens (case 4, the full
+	// Immune system).
+	LevelSignatures = sec.LevelSignatures
+)
+
+// CDR marshaling helpers for servant arguments and results.
+type (
+	// Encoder marshals CDR values (CORBA's Common Data Representation).
+	Encoder = iiop.Encoder
+	// Decoder unmarshals CDR values.
+	Decoder = iiop.Decoder
+)
+
+// NewEncoder returns an empty CDR encoder.
+func NewEncoder() *Encoder { return iiop.NewEncoder() }
+
+// NewDecoder returns a CDR decoder over data.
+func NewDecoder(data []byte) *Decoder { return iiop.NewDecoder(data) }
+
+// MembershipInstall describes one installed processor membership.
+type MembershipInstall = membership.Install
+
+// RingStats are the token-ring protocol counters of one processor.
+type RingStats = ring.Stats
+
+// ManagerStats are the Replication Manager counters of one processor.
+type ManagerStats = replication.Stats
+
+// NetStats are the simulated network counters.
+type NetStats = netsim.Stats
+
+// FaultPlan injects network-level faults (message loss, corruption,
+// duplication, delay) for survivability experiments. See netsim.FaultPlan.
+type FaultPlan = netsim.FaultPlan
+
+// Config parameterizes an Immune system deployment.
+type Config struct {
+	// Processors is the number of simulated processors (the paper's
+	// testbed used six). A system of n processors tolerates
+	// ⌊(n−1)/3⌋ faulty ones.
+	Processors int
+	// Level is the survivability level; zero means LevelSignatures.
+	Level Level
+	// ModulusBits is the RSA modulus size; zero means the paper's 300.
+	ModulusBits int
+	// TokenBatch is the number j of multicast messages per token visit,
+	// over which one token signature is amortized; zero means 6 (§8).
+	TokenBatch int
+	// Seed makes key generation and fault injection reproducible.
+	Seed uint64
+	// NetLatency/NetJitter shape the simulated LAN.
+	NetLatency time.Duration
+	NetJitter  time.Duration
+	// Plan optionally injects network faults.
+	Plan FaultPlan
+	// CallTimeout bounds replicated two-way invocations; zero means 10s.
+	CallTimeout time.Duration
+	// SuspectTimeout is the Byzantine fault detector's liveness timeout;
+	// zero means 50ms.
+	SuspectTimeout time.Duration
+	// IdleDelay paces an idle token rotation; zero means 500µs.
+	IdleDelay time.Duration
+	// PollInterval is each processor's event-loop idle sleep; zero means
+	// 100µs.
+	PollInterval time.Duration
+	// CryptoWorkFactor repeats every signature generation/verification
+	// to emulate the paper's 167 MHz testbed, where a 300-bit RSA
+	// signature cost milliseconds; ~100 restores the 1999 ratio of
+	// crypto to protocol cost. Zero means 1 (modern hardware).
+	CryptoWorkFactor int
+	// OnMembershipChange observes processor membership installs.
+	OnMembershipChange func(self ProcessorID, inst MembershipInstall)
+}
+
+// System is a running Immune deployment.
+type System struct {
+	inner *core.System
+}
+
+// New builds an Immune system. Call Start to launch it.
+func New(cfg Config) (*System, error) {
+	inner, err := core.NewSystem(core.Config{
+		Processors:         cfg.Processors,
+		Level:              cfg.Level,
+		ModulusBits:        cfg.ModulusBits,
+		MaxPerVisit:        cfg.TokenBatch,
+		Seed:               cfg.Seed,
+		NetLatency:         cfg.NetLatency,
+		NetJitter:          cfg.NetJitter,
+		Plan:               cfg.Plan,
+		CallTimeout:        cfg.CallTimeout,
+		SuspectTimeout:     cfg.SuspectTimeout,
+		IdleDelay:          cfg.IdleDelay,
+		PollInterval:       cfg.PollInterval,
+		CryptoWorkFactor:   cfg.CryptoWorkFactor,
+		OnMembershipChange: cfg.OnMembershipChange,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: inner}, nil
+}
+
+// Start launches all processors' protocol stacks.
+func (s *System) Start() { s.inner.Start() }
+
+// Stop shuts the system down and waits for all goroutines.
+func (s *System) Stop() { s.inner.Stop() }
+
+// Processor returns the processor with the given identifier (1..n).
+func (s *System) Processor(id ProcessorID) (*Processor, error) {
+	p, err := s.inner.Processor(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Processor{inner: p}, nil
+}
+
+// Processors lists all processor identifiers.
+func (s *System) Processors() []ProcessorID { return s.inner.Processors() }
+
+// MaxFaulty returns ⌊(n−1)/3⌋, the number of faulty processors tolerated.
+func (s *System) MaxFaulty() int { return s.inner.MaxFaulty() }
+
+// CrashProcessor drops a processor off the simulated LAN (Table 1:
+// processor crash). The survivors detect, exclude, and continue.
+func (s *System) CrashProcessor(id ProcessorID) { s.inner.CrashProcessor(id) }
+
+// ReattachProcessor reverses CrashProcessor at the network level.
+func (s *System) ReattachProcessor(id ProcessorID) { s.inner.ReattachProcessor(id) }
+
+// NetStats returns simulated network counters.
+func (s *System) NetStats() NetStats { return s.inner.NetStats() }
+
+// MaxFaultyProcessors returns the fault budget for an n-processor system
+// without building one.
+func MaxFaultyProcessors(n int) int { return core.MaxFaulty(n) }
+
+// MinCorrectReplicas returns ⌈(r+1)/2⌉, the correct-replica requirement
+// for a group of degree r (§3.1).
+func MinCorrectReplicas(r int) int { return core.MinCorrectReplicas(r) }
+
+// Processor is one simulated host.
+type Processor struct {
+	inner *core.Processor
+}
+
+// ID returns the processor identifier.
+func (p *Processor) ID() ProcessorID { return p.inner.ID() }
+
+// View returns the processor's installed membership.
+func (p *Processor) View() MembershipInstall { return p.inner.View() }
+
+// Suspects returns the processor's Byzantine fault detector output.
+func (p *Processor) Suspects() []ProcessorID { return p.inner.Suspects() }
+
+// RingStats returns the processor's token-ring counters.
+func (p *Processor) RingStats() RingStats { return p.inner.RingStats() }
+
+// ManagerStats returns the processor's Replication Manager counters.
+func (p *Processor) ManagerStats() ManagerStats { return p.inner.ManagerStats() }
+
+// GroupMembers reports an object group's membership as seen here.
+func (p *Processor) GroupMembers(g GroupID) []ReplicaID { return p.inner.GroupMembers(g) }
+
+// HostServer starts a local server replica of group g. The servant must be
+// deterministic; objectKey is the CORBA object key clients use.
+func (p *Processor) HostServer(g GroupID, objectKey string, servant Servant) (*Replica, error) {
+	h, err := p.inner.HostServer(g, objectKey, servant)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{h: h}, nil
+}
+
+// NewClient hosts a local client replica of clientGroup and returns a
+// Client whose object references issue replicated, majority-voted
+// invocations through the Immune interceptor.
+func (p *Processor) NewClient(clientGroup GroupID) (*Client, error) {
+	o, ic, h, err := p.inner.ClientORB(clientGroup)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{orb: o, ic: ic, replica: &Replica{h: h}}, nil
+}
+
+// Replica is the application handle on one local replica.
+type Replica struct {
+	h *replication.Handle
+}
+
+// ID returns the replica identity.
+func (r *Replica) ID() ReplicaID { return r.h.Replica() }
+
+// Active reports whether the replica has been admitted to its group.
+func (r *Replica) Active() bool { return r.h.Active() }
+
+// WaitActive blocks until the replica activates or the timeout expires.
+func (r *Replica) WaitActive(timeout time.Duration) error { return r.h.WaitActive(timeout) }
+
+// Leave withdraws the replica from its object group (planned maintenance,
+// as opposed to fault-driven exclusion). The group's degree drops and
+// voting thresholds adjust at every Replication Manager consistently.
+func (r *Replica) Leave() error { return r.h.Leave() }
+
+// Client is a replicated CORBA client: an ORB whose transport is the
+// Immune interceptor plus the local client replica identity.
+type Client struct {
+	orb     *orb.ORB
+	ic      *interceptor.Interceptor
+	replica *Replica
+}
+
+// Replica returns the client's local replica handle.
+func (c *Client) Replica() *Replica { return c.replica }
+
+// Bind maps a CORBA object key to the server group implementing it.
+func (c *Client) Bind(objectKey string, g GroupID) { c.ic.Bind(objectKey, g) }
+
+// Object returns an object reference (stub) for a bound object key.
+func (c *Client) Object(objectKey string) *Object {
+	return &Object{ref: c.orb.ObjRef(objectKey)}
+}
+
+// Object is a client-side object reference whose invocations are
+// replicated and majority-voted.
+type Object struct {
+	ref *orb.ObjRef
+}
+
+// Key returns the referenced object key.
+func (o *Object) Key() string { return o.ref.Key() }
+
+// Invoke performs a replicated two-way invocation: op with CDR-encoded
+// args, returning the majority-voted CDR-encoded result.
+func (o *Object) Invoke(op string, args []byte) ([]byte, error) {
+	return o.ref.Invoke(op, args)
+}
+
+// InvokeOneWay performs a replicated one-way invocation (no reply).
+func (o *Object) InvokeOneWay(op string, args []byte) error {
+	return o.ref.InvokeOneWay(op, args)
+}
+
+// InvocationError is the CORBA-exception error returned by Invoke.
+type InvocationError = orb.InvocationError
+
+// Probabilistic builds a seeded random fault plan (loss, corruption,
+// duplication probabilities and a delay bound) for experiments.
+func Probabilistic(seed uint64, loss, corrupt, dup float64, maxDelay time.Duration) FaultPlan {
+	return netsim.NewProbabilistic(seed, loss, corrupt, dup, maxDelay)
+}
+
+// Validate reports configuration problems a survivable deployment should
+// not have: too few processors for any fault tolerance, or a replication
+// degree the processor count cannot host (one replica per processor).
+func Validate(processors int, replicationDegree int) error {
+	if processors < 4 {
+		return fmt.Errorf("immune: %d processors tolerate no Byzantine fault (need ≥ 4)", processors)
+	}
+	if replicationDegree > processors {
+		return fmt.Errorf("immune: degree %d exceeds %d processors (one replica per processor, §3.1)",
+			replicationDegree, processors)
+	}
+	if replicationDegree < 3 {
+		return fmt.Errorf("immune: degree %d cannot outvote a value fault (need ≥ 3)", replicationDegree)
+	}
+	return nil
+}

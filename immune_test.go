@@ -1,0 +1,166 @@
+package immune_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"immune"
+)
+
+// counter is a deterministic replicated servant for public-API tests.
+type counter struct {
+	mu    sync.Mutex
+	value int64
+}
+
+var _ immune.Servant = (*counter)(nil)
+
+func (c *counter) Invoke(op string, args []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch op {
+	case "add":
+		delta, err := immune.NewDecoder(args).ReadLongLong()
+		if err != nil {
+			return nil, err
+		}
+		c.value += delta
+		e := immune.NewEncoder()
+		e.WriteLongLong(c.value)
+		return e.Bytes(), nil
+	case "get":
+		e := immune.NewEncoder()
+		e.WriteLongLong(c.value)
+		return e.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("unknown op %q", op)
+	}
+}
+
+func (c *counter) Snapshot() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := immune.NewEncoder()
+	e.WriteLongLong(c.value)
+	return e.Bytes()
+}
+
+func (c *counter) Restore(snap []byte) error {
+	v, err := immune.NewDecoder(snap).ReadLongLong()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.value = v
+	return nil
+}
+
+const (
+	srvGroup = immune.GroupID(1)
+	cliGroup = immune.GroupID(2)
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys, err := immune.New(immune.Config{Processors: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+
+	// Three-way replicated counter service on P1-P3.
+	for pid := immune.ProcessorID(1); pid <= 3; pid++ {
+		p, err := sys.Processor(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := p.HostServer(srvGroup, "Counter/main", &counter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WaitActive(20 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Three-way replicated client on P4-P6.
+	clients := make([]*immune.Client, 0, 3)
+	for pid := immune.ProcessorID(4); pid <= 6; pid++ {
+		p, err := sys.Processor(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := p.NewClient(cliGroup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Bind("Counter/main", srvGroup)
+		if err := c.Replica().WaitActive(20 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+
+	// Every client replica performs the same sequence of calls.
+	args := immune.NewEncoder()
+	args.WriteLongLong(5)
+	var wg sync.WaitGroup
+	results := make([]int64, len(clients))
+	errs := make([]error, len(clients))
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *immune.Client) {
+			defer wg.Done()
+			body, err := c.Object("Counter/main").Invoke("add", args.Bytes())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = immune.NewDecoder(body).ReadLongLong()
+		}(i, c)
+	}
+	wg.Wait()
+	for i := range clients {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if results[i] != 5 {
+			t.Fatalf("client %d read %d, want 5", i, results[i])
+		}
+	}
+
+	if sys.MaxFaulty() != 1 {
+		t.Fatalf("MaxFaulty() = %d for 6 processors", sys.MaxFaulty())
+	}
+	p1, _ := sys.Processor(1)
+	if got := len(p1.GroupMembers(srvGroup)); got != 3 {
+		t.Fatalf("server group degree %d", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := immune.Validate(6, 3); err != nil {
+		t.Fatalf("valid deployment rejected: %v", err)
+	}
+	if err := immune.Validate(3, 3); err == nil {
+		t.Fatal("3 processors accepted")
+	}
+	if err := immune.Validate(6, 7); err == nil {
+		t.Fatal("degree > processors accepted")
+	}
+	if err := immune.Validate(6, 2); err == nil {
+		t.Fatal("degree 2 accepted")
+	}
+}
+
+func TestSurvivabilityArithmeticPublic(t *testing.T) {
+	if immune.MaxFaultyProcessors(6) != 1 || immune.MaxFaultyProcessors(7) != 2 {
+		t.Fatal("MaxFaultyProcessors wrong")
+	}
+	if immune.MinCorrectReplicas(3) != 2 || immune.MinCorrectReplicas(5) != 3 {
+		t.Fatal("MinCorrectReplicas wrong")
+	}
+}

@@ -1,0 +1,303 @@
+// Package core assembles the complete Immune system (paper Figure 1): a
+// set of simulated processors, each running the Secure Multicast Protocols
+// (token-ring message delivery, processor membership, Byzantine fault
+// detector), a Replication Manager, and an emulated ORB whose transport is
+// intercepted by the Immune layer. Applications host actively replicated
+// client and server objects on the processors and invoke operations
+// through ordinary CORBA stubs; every invocation and response is majority
+// voted.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"immune/internal/ids"
+	"immune/internal/interceptor"
+	"immune/internal/membership"
+	"immune/internal/netsim"
+	"immune/internal/orb"
+	"immune/internal/replication"
+	"immune/internal/ring"
+	"immune/internal/sec"
+	"immune/internal/smp"
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// Processors is the number of simulated processors (the paper's
+	// testbed used six). Identifiers are assigned 1..n.
+	Processors int
+	// Level is the survivability level (Figure 7 cases 2–4). Zero means
+	// sec.LevelSignatures (full survivability).
+	Level sec.Level
+	// ModulusBits is the RSA modulus size; 0 means the paper's 300.
+	ModulusBits int
+	// MaxPerVisit is the token batching factor j; 0 means 6 (paper §8).
+	MaxPerVisit int
+	// Seed drives deterministic key generation and network randomness.
+	Seed uint64
+	// NetLatency and NetJitter shape the simulated LAN; zero means
+	// immediate handoff.
+	NetLatency time.Duration
+	NetJitter  time.Duration
+	// Plan optionally injects network faults (Table 1 experiments).
+	Plan netsim.FaultPlan
+	// CallTimeout bounds replicated two-way invocations; 0 means 10s.
+	CallTimeout time.Duration
+	// SuspectTimeout is the fault detector's liveness timeout; 0 means
+	// 50ms.
+	SuspectTimeout time.Duration
+	// IdleDelay paces an idle token rotation; 0 means 500µs.
+	IdleDelay time.Duration
+	// PollInterval is each processor's event-loop idle sleep; 0 means
+	// 100µs. Lower values trade CPU for latency in benchmarks.
+	PollInterval time.Duration
+	// CryptoWorkFactor repeats signing/verification to emulate
+	// paper-era (167 MHz) hardware; 0 means 1 (modern speed).
+	CryptoWorkFactor int
+	// OnMembershipChange, if set, observes processor membership installs
+	// (invoked once per processor per install).
+	OnMembershipChange func(self ids.ProcessorID, inst membership.Install)
+}
+
+// MaxFaulty returns the number of faulty processors a system of n
+// processors tolerates: k ≤ ⌊(n−1)/3⌋ (paper §3.1, §7.1).
+func MaxFaulty(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n - 1) / 3
+}
+
+// MinCorrectReplicas returns ⌈(r+1)/2⌉, the minimum correct replicas
+// required in a group of r (paper §3.1).
+func MinCorrectReplicas(r int) int { return (r + 2) / 2 }
+
+// System is one Immune deployment: processors, network, protocol stacks.
+type System struct {
+	cfg   Config
+	net   *netsim.Network
+	procs map[ids.ProcessorID]*Processor
+	order []ids.ProcessorID
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+}
+
+// Processor is one simulated host: its protocol stack, Replication
+// Manager, and the factory for local replicas and ORBs.
+type Processor struct {
+	id    ids.ProcessorID
+	sys   *System
+	stack *smp.Stack
+	mgr   *replication.Manager
+}
+
+// NewSystem builds (but does not start) an Immune system.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Processors <= 0 {
+		return nil, fmt.Errorf("core: at least one processor required")
+	}
+	if cfg.Level == 0 {
+		cfg.Level = sec.LevelSignatures
+	}
+	if cfg.ModulusBits == 0 {
+		cfg.ModulusBits = sec.DefaultModulusBits
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+
+	s := &System{
+		cfg: cfg,
+		net: netsim.New(netsim.Config{
+			Latency: cfg.NetLatency,
+			Jitter:  cfg.NetJitter,
+			Plan:    cfg.Plan,
+			Seed:    cfg.Seed,
+		}),
+		procs: make(map[ids.ProcessorID]*Processor, cfg.Processors),
+	}
+
+	members := make([]ids.ProcessorID, cfg.Processors)
+	for i := range members {
+		members[i] = ids.ProcessorID(i + 1)
+	}
+	s.order = members
+
+	keyRing := sec.NewKeyRing()
+	keys := make(map[ids.ProcessorID]*sec.KeyPair, cfg.Processors)
+	if cfg.Level >= sec.LevelSignatures {
+		for _, p := range members {
+			kp, err := sec.GenerateKeyPair(cfg.ModulusBits, sec.NewSeededReader(cfg.Seed^(uint64(p)*0x9e3779b9+1)))
+			if err != nil {
+				return nil, fmt.Errorf("core: keygen for %s: %w", p, err)
+			}
+			keys[p] = kp
+			keyRing.Register(p, kp.Public())
+		}
+	}
+
+	for _, p := range members {
+		ep, err := s.net.Attach(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: attach %s: %w", p, err)
+		}
+		suite, err := sec.NewSuite(cfg.Level, p, keys[p], keyRing)
+		if err != nil {
+			return nil, fmt.Errorf("core: suite for %s: %w", p, err)
+		}
+		suite.WorkFactor = cfg.CryptoWorkFactor
+
+		proc := &Processor{id: p, sys: s}
+		stack, err := smp.New(smp.Config{
+			Self:           p,
+			Members:        members,
+			Suite:          suite,
+			Endpoint:       ep,
+			MaxPerVisit:    cfg.MaxPerVisit,
+			IdleDelay:      cfg.IdleDelay,
+			PollInterval:   cfg.PollInterval,
+			SuspectTimeout: cfg.SuspectTimeout,
+			Deliver: func(d smp.Delivery) {
+				proc.mgr.HandleDelivery(d.Payload)
+			},
+			OnMembershipChange: func(inst membership.Install) {
+				proc.mgr.OnProcessorMembershipChange(inst.Members)
+				if cfg.OnMembershipChange != nil {
+					cfg.OnMembershipChange(p, inst)
+				}
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: stack for %s: %w", p, err)
+		}
+		proc.stack = stack
+
+		mgr, err := replication.NewManager(replication.Config{
+			Stack:       stack,
+			Processors:  cfg.Processors,
+			CallTimeout: cfg.CallTimeout,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: manager for %s: %w", p, err)
+		}
+		proc.mgr = mgr
+		s.procs[p] = proc
+	}
+	return s, nil
+}
+
+// Start launches every processor's protocol stack.
+func (s *System) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for _, p := range s.order {
+		s.procs[p].stack.Start()
+	}
+}
+
+// Stop shuts the system down.
+func (s *System) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	for _, p := range s.order {
+		s.procs[p].stack.Stop()
+	}
+	s.net.Close()
+}
+
+// Processor returns the processor with the given identifier.
+func (s *System) Processor(id ids.ProcessorID) (*Processor, error) {
+	p, ok := s.procs[id]
+	if !ok {
+		return nil, fmt.Errorf("core: no processor %s", id)
+	}
+	return p, nil
+}
+
+// Processors returns all processor identifiers in order.
+func (s *System) Processors() []ids.ProcessorID {
+	return append([]ids.ProcessorID(nil), s.order...)
+}
+
+// MaxFaulty returns the fault budget of this deployment.
+func (s *System) MaxFaulty() int { return MaxFaulty(len(s.order)) }
+
+// CrashProcessor simulates a processor crash: the processor drops off the
+// LAN (Table 1: processor crash). The survivors' fault detectors time it
+// out and the membership protocol excludes it.
+func (s *System) CrashProcessor(id ids.ProcessorID) {
+	s.net.Detach(id)
+}
+
+// ReattachProcessor reverses CrashProcessor at the network level (the
+// membership protocol decides whether the processor may rejoin).
+func (s *System) ReattachProcessor(id ids.ProcessorID) {
+	s.net.Reattach(id)
+}
+
+// NetStats returns the simulated network's counters.
+func (s *System) NetStats() netsim.Stats { return s.net.Stats() }
+
+// ID returns the processor's identifier.
+func (p *Processor) ID() ids.ProcessorID { return p.id }
+
+// View returns the processor's installed membership.
+func (p *Processor) View() membership.Install { return p.stack.View() }
+
+// Suspects returns the processor's local fault-detector output.
+func (p *Processor) Suspects() []ids.ProcessorID { return p.stack.Suspects() }
+
+// RingStats returns the processor's current ring counters.
+func (p *Processor) RingStats() ring.Stats { return p.stack.RingStats() }
+
+// ManagerStats returns the processor's Replication Manager counters.
+func (p *Processor) ManagerStats() replication.Stats { return p.mgr.Stats() }
+
+// Manager exposes the Replication Manager (advanced use and tests).
+func (p *Processor) Manager() *replication.Manager { return p.mgr }
+
+// HostServer starts a local server replica of an object group on this
+// processor. servant must be deterministic (paper §3). The returned handle
+// reports activation; the replica participates in voting thereafter.
+func (p *Processor) HostServer(g ids.ObjectGroupID, objectKey string, servant orb.Servant) (*replication.Handle, error) {
+	return p.mgr.HostReplica(g, objectKey, servant)
+}
+
+// ClientORB hosts a local client replica of clientGroup on this processor
+// and returns an ORB whose transport is the Immune interceptor: stubs
+// created from this ORB transparently issue replicated, majority-voted
+// invocations. Bind object keys to server groups on the returned
+// interceptor.
+func (p *Processor) ClientORB(clientGroup ids.ObjectGroupID) (*orb.ORB, *interceptor.Interceptor, *replication.Handle, error) {
+	h, err := p.mgr.HostReplica(clientGroup, "", nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ic := interceptor.New(h)
+	o := orb.New(ic)
+	o.CallTimeout = p.sys.cfg.CallTimeout + time.Second
+	return o, ic, h, nil
+}
+
+// GroupMembers reports the object-group membership as seen by this
+// processor's Replication Manager.
+func (p *Processor) GroupMembers(g ids.ObjectGroupID) []ids.ReplicaID {
+	ms := p.mgr.Directory().Members(g)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Processor < ms[j].Processor })
+	return ms
+}

@@ -1,0 +1,221 @@
+// Package group implements the object group abstraction of the Immune
+// system (paper §3, §5): the mapping from object groups to their member
+// replicas, the base group through which every Replication Manager learns
+// object-group membership changes (§6.1), and the encoding of the
+// group-addressed messages that the Replication Manager maps onto the
+// Secure Multicast Protocols.
+package group
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"immune/internal/ids"
+	"immune/internal/sec"
+)
+
+// Kind tags a group-layer message.
+type Kind byte
+
+const (
+	// KindInvocation carries one replica's copy of a client invocation
+	// (an IIOP Request) addressed to a server object group.
+	KindInvocation Kind = iota + 1
+	// KindResponse carries one replica's copy of a server response (an
+	// IIOP Reply) addressed back to the client object group.
+	KindResponse
+	// KindJoin announces a replica joining an object group; processed by
+	// every member of the base group (§6.1).
+	KindJoin
+	// KindLeave announces a replica leaving an object group.
+	KindLeave
+	// KindValueFaultVote is the Value_Fault_Vote message a voter sends to
+	// the base group when it detects an incorrect value (§6.2).
+	KindValueFaultVote
+	// KindState carries a state snapshot for a newly joined replica
+	// (replica reallocation, §3.1); addressed to the joining group.
+	KindState
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindInvocation:
+		return "invocation"
+	case KindResponse:
+		return "response"
+	case KindJoin:
+		return "join"
+	case KindLeave:
+		return "leave"
+	case KindValueFaultVote:
+		return "value-fault-vote"
+	case KindState:
+		return "state"
+	default:
+		return fmt.Sprintf("group.Kind(%d)", byte(k))
+	}
+}
+
+// VoteEntry records one copy a voter saw: which replica sent it and the
+// digest of its value.
+type VoteEntry struct {
+	Sender ids.ReplicaID
+	Digest [sec.DigestSize]byte
+}
+
+// Message is one group-layer message. Field usage by kind:
+//
+//   - Invocation/Response: Dest, Op, Sender, Payload (IIOP octets)
+//   - Join/Leave: Dest = BaseGroup, Member, Target (the group affected)
+//   - ValueFaultVote: Dest = BaseGroup, Op, Sender (the reporting RM's
+//     replica), Target (the group voted at), Votes, Decided
+//   - State: Dest = Target (joining group), Target, Sender (the replica
+//     providing state), Op.Seq = the join sequence marker, Payload = the
+//     snapshot
+type Message struct {
+	Kind    Kind
+	Dest    ids.ObjectGroupID
+	Op      ids.OperationID
+	Sender  ids.ReplicaID
+	Target  ids.ObjectGroupID
+	Member  ids.ReplicaID
+	Payload []byte
+	Votes   []VoteEntry
+	Decided [sec.DigestSize]byte
+}
+
+// ErrTruncated is returned for malformed group message encodings.
+var ErrTruncated = errors.New("group: truncated message")
+
+const maxVotes = 4096
+
+// Marshal encodes the message.
+func (m *Message) Marshal() []byte {
+	var b []byte
+	b = append(b, byte(m.Kind))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Dest))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Op.ClientGroup))
+	b = binary.LittleEndian.AppendUint64(b, m.Op.Seq)
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Sender.Group))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Sender.Processor))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Target))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Member.Group))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Member.Processor))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Payload)))
+	b = append(b, m.Payload...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Votes)))
+	for _, v := range m.Votes {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v.Sender.Group))
+		b = binary.LittleEndian.AppendUint32(b, uint32(v.Sender.Processor))
+		b = append(b, v.Digest[:]...)
+	}
+	b = append(b, m.Decided[:]...)
+	return b
+}
+
+// Unmarshal decodes a group message.
+func Unmarshal(data []byte) (*Message, error) {
+	r := &byteReader{buf: data}
+	m := &Message{}
+	m.Kind = Kind(r.u8())
+	m.Dest = ids.ObjectGroupID(r.u32())
+	m.Op.ClientGroup = ids.ObjectGroupID(r.u32())
+	m.Op.Seq = r.u64()
+	m.Sender.Group = ids.ObjectGroupID(r.u32())
+	m.Sender.Processor = ids.ProcessorID(r.u32())
+	m.Target = ids.ObjectGroupID(r.u32())
+	m.Member.Group = ids.ObjectGroupID(r.u32())
+	m.Member.Processor = ids.ProcessorID(r.u32())
+	m.Payload = r.bytes()
+	nv := int(r.u32())
+	if r.err == nil && (nv < 0 || nv > maxVotes) {
+		return nil, fmt.Errorf("group: vote list of %d entries", nv)
+	}
+	if r.err == nil && nv > 0 {
+		m.Votes = make([]VoteEntry, 0, nv)
+		for i := 0; i < nv; i++ {
+			var v VoteEntry
+			v.Sender.Group = ids.ObjectGroupID(r.u32())
+			v.Sender.Processor = ids.ProcessorID(r.u32())
+			v.Digest = r.digest()
+			m.Votes = append(m.Votes, v)
+		}
+	}
+	m.Decided = r.digest()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("group: %d trailing bytes", len(data)-r.off)
+	}
+	if m.Kind < KindInvocation || m.Kind > KindState {
+		return nil, fmt.Errorf("group: unknown kind %d", m.Kind)
+	}
+	return m, nil
+}
+
+// byteReader is a bounds-checked little-endian reader.
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *byteReader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *byteReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *byteReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *byteReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > 1<<24 || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	out := append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	return out
+}
+
+func (r *byteReader) digest() (d [sec.DigestSize]byte) {
+	if r.err != nil || r.off+sec.DigestSize > len(r.buf) {
+		r.fail()
+		return d
+	}
+	copy(d[:], r.buf[r.off:])
+	r.off += sec.DigestSize
+	return d
+}

@@ -1,0 +1,138 @@
+package group
+
+import (
+	"sort"
+	"sync"
+
+	"immune/internal/ids"
+)
+
+// Directory is the object-group membership table every Replication Manager
+// maintains from the base group's Join/Leave traffic (paper §6.1: "the
+// Replication Manager updates the membership information that it must
+// maintain to perform majority voting"). Because Join/Leave messages are
+// delivered in the same total order at every RM, every directory evolves
+// identically. It is safe for concurrent read with single-writer apply.
+type Directory struct {
+	mu     sync.RWMutex
+	groups map[ids.ObjectGroupID][]ids.ReplicaID // sorted by processor
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{groups: make(map[ids.ObjectGroupID][]ids.ReplicaID)}
+}
+
+// Join adds a replica to its group. At most one replica of a group per
+// processor (§3.1); a duplicate join is a no-op returning false.
+func (d *Directory) Join(r ids.ReplicaID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	members := d.groups[r.Group]
+	for _, m := range members {
+		if m.Processor == r.Processor {
+			return false
+		}
+	}
+	members = append(members, r)
+	sort.Slice(members, func(i, j int) bool {
+		return members[i].Processor < members[j].Processor
+	})
+	d.groups[r.Group] = members
+	return true
+}
+
+// Leave removes a replica from its group; returns false if absent.
+func (d *Directory) Leave(r ids.ReplicaID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	members := d.groups[r.Group]
+	for i, m := range members {
+		if m.Processor == r.Processor {
+			d.groups[r.Group] = append(members[:i:i], members[i+1:]...)
+			if len(d.groups[r.Group]) == 0 {
+				delete(d.groups, r.Group)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveProcessor excludes every replica hosted by p from every object
+// group (§3.1: "If a malicious processor fault is detected, all objects
+// that are hosted by that processor are subsequently excluded from the
+// memberships of all object groups"). It returns the removed replicas.
+func (d *Directory) RemoveProcessor(p ids.ProcessorID) []ids.ReplicaID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var removed []ids.ReplicaID
+	for g, members := range d.groups {
+		for i, m := range members {
+			if m.Processor == p {
+				removed = append(removed, m)
+				d.groups[g] = append(members[:i:i], members[i+1:]...)
+				break // at most one replica per processor per group
+			}
+		}
+		if len(d.groups[g]) == 0 {
+			delete(d.groups, g)
+		}
+	}
+	sort.Slice(removed, func(i, j int) bool {
+		if removed[i].Group != removed[j].Group {
+			return removed[i].Group < removed[j].Group
+		}
+		return removed[i].Processor < removed[j].Processor
+	})
+	return removed
+}
+
+// Members returns a copy of the group's replica list (sorted by
+// processor).
+func (d *Directory) Members(g ids.ObjectGroupID) []ids.ReplicaID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]ids.ReplicaID(nil), d.groups[g]...)
+}
+
+// Size returns the degree of replication of a group (paper: r_c, r_s).
+func (d *Directory) Size(g ids.ObjectGroupID) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.groups[g])
+}
+
+// Contains reports whether the replica is a current group member.
+func (d *Directory) Contains(r ids.ReplicaID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, m := range d.groups[r.Group] {
+		if m.Processor == r.Processor {
+			return true
+		}
+	}
+	return false
+}
+
+// Groups returns the identifiers of all non-empty groups (sorted).
+func (d *Directory) Groups() []ids.ObjectGroupID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]ids.ObjectGroupID, 0, len(d.groups))
+	for g := range d.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Majority returns the voting threshold for a group of the given size:
+// ⌊r/2⌋+1 identical copies decide (the paper requires ⌈(r+1)/2⌉ correct
+// replicas, which is the same quantity).
+func Majority(size int) int {
+	if size <= 0 {
+		return 1
+	}
+	return size/2 + 1
+}

@@ -1,0 +1,232 @@
+package group
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"immune/internal/ids"
+	"immune/internal/sec"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		{
+			Kind: KindInvocation, Dest: 5,
+			Op:      ids.OperationID{ClientGroup: 2, Seq: 17},
+			Sender:  ids.ReplicaID{Group: 2, Processor: 3},
+			Payload: []byte("iiop request bytes"),
+		},
+		{
+			Kind: KindResponse, Dest: 2,
+			Op:      ids.OperationID{ClientGroup: 2, Seq: 17},
+			Sender:  ids.ReplicaID{Group: 5, Processor: 1},
+			Payload: []byte("iiop reply bytes"),
+		},
+		{
+			Kind: KindJoin, Dest: ids.BaseGroup,
+			Member: ids.ReplicaID{Group: 7, Processor: 4}, Target: 7,
+		},
+		{
+			Kind: KindLeave, Dest: ids.BaseGroup,
+			Member: ids.ReplicaID{Group: 7, Processor: 4}, Target: 7,
+		},
+		{
+			Kind: KindValueFaultVote, Dest: ids.BaseGroup,
+			Op:     ids.OperationID{ClientGroup: 2, Seq: 9},
+			Sender: ids.ReplicaID{Group: 5, Processor: 2},
+			Target: 5,
+			Votes: []VoteEntry{
+				{Sender: ids.ReplicaID{Group: 2, Processor: 1}, Digest: sec.Digest([]byte("a"))},
+				{Sender: ids.ReplicaID{Group: 2, Processor: 3}, Digest: sec.Digest([]byte("b"))},
+			},
+			Decided: sec.Digest([]byte("a")),
+		},
+		{
+			Kind: KindState, Dest: 7, Target: 7,
+			Op:      ids.OperationID{Seq: 3},
+			Sender:  ids.ReplicaID{Group: 7, Processor: 1},
+			Payload: []byte("snapshot"),
+		},
+	}
+	for _, m := range msgs {
+		got, err := Unmarshal(m.Marshal())
+		if err != nil {
+			t.Fatalf("%s: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("%s round trip:\n got %+v\nwant %+v", m.Kind, got, m)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := Unmarshal([]byte{0xee}); err == nil {
+		t.Fatal("one byte accepted")
+	}
+	valid := (&Message{Kind: KindJoin, Member: ids.ReplicaID{Group: 1, Processor: 1}, Target: 1}).Marshal()
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := Unmarshal(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Unmarshal(append(valid, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	bad := append([]byte(nil), valid...)
+	bad[0] = 99 // unknown kind
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestUnmarshalFuzzNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessagePayloadCopied(t *testing.T) {
+	payload := []byte("original")
+	m := &Message{Kind: KindInvocation, Payload: payload}
+	enc := m.Marshal()
+	got, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[len(enc)-sec.DigestSize-5] ^= 0xff // mutate encoding after decode
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatal("decoded payload aliases encoding")
+	}
+}
+
+func TestDirectoryJoinLeave(t *testing.T) {
+	d := NewDirectory()
+	r1 := ids.ReplicaID{Group: 1, Processor: 1}
+	r2 := ids.ReplicaID{Group: 1, Processor: 2}
+
+	if !d.Join(r1) || !d.Join(r2) {
+		t.Fatal("join failed")
+	}
+	if d.Join(r1) {
+		t.Fatal("duplicate join accepted")
+	}
+	if d.Size(1) != 2 {
+		t.Fatalf("size = %d", d.Size(1))
+	}
+	if !d.Contains(r1) {
+		t.Fatal("contains failed")
+	}
+	if !d.Leave(r1) {
+		t.Fatal("leave failed")
+	}
+	if d.Leave(r1) {
+		t.Fatal("double leave accepted")
+	}
+	if d.Size(1) != 1 || d.Contains(r1) {
+		t.Fatal("leave not applied")
+	}
+}
+
+func TestDirectoryOnePerProcessor(t *testing.T) {
+	// §3.1: at most one replica of an object per processor.
+	d := NewDirectory()
+	if !d.Join(ids.ReplicaID{Group: 1, Processor: 1}) {
+		t.Fatal("first join failed")
+	}
+	if d.Join(ids.ReplicaID{Group: 1, Processor: 1}) {
+		t.Fatal("second replica of same group on same processor accepted")
+	}
+	// Replicas of different objects may share a processor.
+	if !d.Join(ids.ReplicaID{Group: 2, Processor: 1}) {
+		t.Fatal("different group on same processor rejected")
+	}
+}
+
+func TestDirectoryMembersSorted(t *testing.T) {
+	d := NewDirectory()
+	d.Join(ids.ReplicaID{Group: 1, Processor: 3})
+	d.Join(ids.ReplicaID{Group: 1, Processor: 1})
+	d.Join(ids.ReplicaID{Group: 1, Processor: 2})
+	ms := d.Members(1)
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1].Processor >= ms[i].Processor {
+			t.Fatalf("members not sorted: %v", ms)
+		}
+	}
+}
+
+func TestRemoveProcessor(t *testing.T) {
+	d := NewDirectory()
+	d.Join(ids.ReplicaID{Group: 1, Processor: 1})
+	d.Join(ids.ReplicaID{Group: 1, Processor: 2})
+	d.Join(ids.ReplicaID{Group: 2, Processor: 2})
+	d.Join(ids.ReplicaID{Group: 3, Processor: 3})
+
+	removed := d.RemoveProcessor(2)
+	if len(removed) != 2 {
+		t.Fatalf("removed %v", removed)
+	}
+	if d.Size(1) != 1 || d.Size(2) != 0 || d.Size(3) != 1 {
+		t.Fatalf("sizes after removal: %d %d %d", d.Size(1), d.Size(2), d.Size(3))
+	}
+	if len(d.RemoveProcessor(2)) != 0 {
+		t.Fatal("second removal found replicas")
+	}
+}
+
+func TestGroupsListing(t *testing.T) {
+	d := NewDirectory()
+	d.Join(ids.ReplicaID{Group: 3, Processor: 1})
+	d.Join(ids.ReplicaID{Group: 1, Processor: 1})
+	gs := d.Groups()
+	if len(gs) != 2 || gs[0] != 1 || gs[1] != 3 {
+		t.Fatalf("groups = %v", gs)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	for size, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 7: 4} {
+		if got := Majority(size); got != want {
+			t.Errorf("Majority(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestDirectoryDeterminism(t *testing.T) {
+	// Two directories fed the same ordered events must agree exactly —
+	// the property total ordering buys (§6.1).
+	events := []struct {
+		join bool
+		r    ids.ReplicaID
+	}{
+		{true, ids.ReplicaID{Group: 1, Processor: 1}},
+		{true, ids.ReplicaID{Group: 1, Processor: 2}},
+		{true, ids.ReplicaID{Group: 2, Processor: 1}},
+		{false, ids.ReplicaID{Group: 1, Processor: 1}},
+		{true, ids.ReplicaID{Group: 1, Processor: 3}},
+	}
+	a, b := NewDirectory(), NewDirectory()
+	for _, ev := range events {
+		if ev.join {
+			a.Join(ev.r)
+			b.Join(ev.r)
+		} else {
+			a.Leave(ev.r)
+			b.Leave(ev.r)
+		}
+	}
+	for _, g := range a.Groups() {
+		if !reflect.DeepEqual(a.Members(g), b.Members(g)) {
+			t.Fatalf("directories diverged for %s", g)
+		}
+	}
+}

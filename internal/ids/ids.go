@@ -1,0 +1,110 @@
+// Package ids defines the typed identifiers used throughout the Immune
+// system: processors, object groups, replicas, rings, and the operation,
+// invocation, and response identifiers that drive duplicate detection and
+// majority voting (paper §5.1, Figure 3).
+package ids
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ProcessorID identifies a processor (a simulated host) in the distributed
+// system. Processor identifiers are assigned at system construction and are
+// never reused.
+type ProcessorID uint32
+
+// String returns a short printable form such as "P3".
+func (p ProcessorID) String() string { return "P" + strconv.FormatUint(uint64(p), 10) }
+
+// ObjectGroupID identifies an object group, i.e. the set of replicas of one
+// actively replicated CORBA object. The base group, used to disseminate
+// membership information to every Replication Manager, has a reserved
+// identifier.
+type ObjectGroupID uint32
+
+// BaseGroup is the reserved object-group identifier of the base group that
+// every Replication Manager joins to learn object-group membership changes
+// (paper §6.1).
+const BaseGroup ObjectGroupID = 0
+
+// String returns a short printable form such as "G2" ("Gbase" for the base
+// group).
+func (g ObjectGroupID) String() string {
+	if g == BaseGroup {
+		return "Gbase"
+	}
+	return "G" + strconv.FormatUint(uint64(g), 10)
+}
+
+// ReplicaID identifies one replica (group member) of a replicated object.
+// A replica is bound to exactly one processor; at most one replica of a
+// given object group is placed on any processor (paper §3.1).
+type ReplicaID struct {
+	Group     ObjectGroupID
+	Processor ProcessorID
+}
+
+// String returns a printable form such as "G2/P3".
+func (r ReplicaID) String() string { return r.Group.String() + "/" + r.Processor.String() }
+
+// RingID identifies one configuration (incarnation) of the logical token
+// ring. Each newly installed processor membership starts a new ring with a
+// fresh RingID so that stale tokens and messages from older configurations
+// are rejected (paper §7.1, Table 3).
+type RingID uint32
+
+// String returns a short printable form such as "R1".
+func (r RingID) String() string { return "R" + strconv.FormatUint(uint64(r), 10) }
+
+// OperationID uniquely identifies one logical operation issued by a
+// replicated client object: the pair (client group, per-group operation
+// sequence number). All replicas of a deterministic client issue the same
+// operation with the same OperationID, which is what makes duplicate
+// detection possible at the target (paper §5.1).
+type OperationID struct {
+	ClientGroup ObjectGroupID
+	Seq         uint64
+}
+
+// String returns a printable form such as "op(G2,17)".
+func (o OperationID) String() string {
+	return fmt.Sprintf("op(%s,%d)", o.ClientGroup, o.Seq)
+}
+
+// InvocationID identifies one copy of an invocation: the operation identity
+// plus the sender replica. The first two fields are identical for every
+// replica of the client (paper Figure 3), so the target's Replication
+// Manager can recognize the copies as the same operation while still
+// attributing each copy to its sender for voting and value-fault detection.
+type InvocationID struct {
+	Op     OperationID
+	Sender ReplicaID
+}
+
+// String returns a printable form such as "inv(op(G2,17) from G2/P3)".
+func (i InvocationID) String() string {
+	return fmt.Sprintf("inv(%s from %s)", i.Op, i.Sender)
+}
+
+// ResponseID identifies one copy of a response. It carries the same
+// operation identity as the invocation it answers (identical first two
+// fields, paper Figure 3), enabling each client replica's Replication
+// Manager to associate response copies with the pending invocation.
+type ResponseID struct {
+	Op     OperationID
+	Sender ReplicaID
+}
+
+// String returns a printable form such as "res(op(G2,17) from G5/P1)".
+func (r ResponseID) String() string {
+	return fmt.Sprintf("res(%s from %s)", r.Op, r.Sender)
+}
+
+// MembershipID identifies one installed processor membership. Memberships
+// are installed in total order; the identifier is the install sequence
+// number (paper §7.2, Table 4).
+type MembershipID uint64
+
+// String returns a short printable form such as "M2".
+func (m MembershipID) String() string { return "M" + strconv.FormatUint(uint64(m), 10) }

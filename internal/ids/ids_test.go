@@ -1,0 +1,71 @@
+package ids
+
+import "testing"
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{ProcessorID(3).String(), "P3"},
+		{ObjectGroupID(2).String(), "G2"},
+		{BaseGroup.String(), "Gbase"},
+		{ReplicaID{Group: 2, Processor: 3}.String(), "G2/P3"},
+		{RingID(1).String(), "R1"},
+		{OperationID{ClientGroup: 2, Seq: 17}.String(), "op(G2,17)"},
+		{
+			InvocationID{
+				Op:     OperationID{ClientGroup: 2, Seq: 17},
+				Sender: ReplicaID{Group: 2, Processor: 3},
+			}.String(),
+			"inv(op(G2,17) from G2/P3)",
+		},
+		{
+			ResponseID{
+				Op:     OperationID{ClientGroup: 2, Seq: 17},
+				Sender: ReplicaID{Group: 5, Processor: 1},
+			}.String(),
+			"res(op(G2,17) from G5/P1)",
+		},
+		{MembershipID(2).String(), "M2"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+// TestIdentifierSemantics pins down the Figure 3 property: the invocation
+// and response identifiers of one operation share the operation identity
+// (their first two fields) while attributing each copy to its sender.
+func TestIdentifierSemantics(t *testing.T) {
+	op := OperationID{ClientGroup: 2, Seq: 40}
+	inv1 := InvocationID{Op: op, Sender: ReplicaID{Group: 2, Processor: 1}}
+	inv2 := InvocationID{Op: op, Sender: ReplicaID{Group: 2, Processor: 2}}
+	res := ResponseID{Op: op, Sender: ReplicaID{Group: 5, Processor: 3}}
+
+	if inv1.Op != inv2.Op {
+		t.Fatal("copies of one operation must share the operation id")
+	}
+	if inv1 == inv2 {
+		t.Fatal("copies from different replicas must be distinguishable")
+	}
+	if res.Op != inv1.Op {
+		t.Fatal("response identifier must associate with the invocation")
+	}
+}
+
+// TestIDsAreComparable ensures the identifiers stay usable as map keys.
+func TestIDsAreComparable(t *testing.T) {
+	m := map[OperationID]int{}
+	m[OperationID{ClientGroup: 1, Seq: 1}] = 1
+	m[OperationID{ClientGroup: 1, Seq: 1}] = 2
+	if len(m) != 1 || m[OperationID{ClientGroup: 1, Seq: 1}] != 2 {
+		t.Fatal("OperationID not usable as a map key")
+	}
+	r := map[ReplicaID]bool{}
+	r[ReplicaID{Group: 1, Processor: 2}] = true
+	if !r[ReplicaID{Group: 1, Processor: 2}] {
+		t.Fatal("ReplicaID not usable as a map key")
+	}
+}

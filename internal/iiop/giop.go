@@ -1,0 +1,239 @@
+package iiop
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// GIOP 1.0 message framing (CORBA 2.0 spec chapter 12; paper §2).
+
+// HeaderSize is the fixed GIOP message header size.
+const HeaderSize = 12
+
+// magic is the GIOP header magic.
+var magic = [4]byte{'G', 'I', 'O', 'P'}
+
+// MsgType is the GIOP message type octet.
+type MsgType byte
+
+// GIOP 1.0 message types.
+const (
+	MsgRequest MsgType = iota
+	MsgReply
+	MsgCancelRequest
+	MsgLocateRequest
+	MsgLocateReply
+	MsgCloseConnection
+	MsgError
+)
+
+// String returns the message type name.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "Request"
+	case MsgReply:
+		return "Reply"
+	case MsgCancelRequest:
+		return "CancelRequest"
+	case MsgLocateRequest:
+		return "LocateRequest"
+	case MsgLocateReply:
+		return "LocateReply"
+	case MsgCloseConnection:
+		return "CloseConnection"
+	case MsgError:
+		return "MessageError"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(t))
+	}
+}
+
+// ReplyStatus is the GIOP reply status enum.
+type ReplyStatus uint32
+
+// GIOP 1.0 reply statuses.
+const (
+	ReplyNoException ReplyStatus = iota
+	ReplyUserException
+	ReplySystemException
+	ReplyLocationForward
+)
+
+// String returns the reply status name.
+func (s ReplyStatus) String() string {
+	switch s {
+	case ReplyNoException:
+		return "NO_EXCEPTION"
+	case ReplyUserException:
+		return "USER_EXCEPTION"
+	case ReplySystemException:
+		return "SYSTEM_EXCEPTION"
+	case ReplyLocationForward:
+		return "LOCATION_FORWARD"
+	default:
+		return fmt.Sprintf("ReplyStatus(%d)", uint32(s))
+	}
+}
+
+// frame prepends a GIOP 1.0 header to a marshaled message body.
+func frame(t MsgType, body []byte) []byte {
+	out := make([]byte, HeaderSize, HeaderSize+len(body))
+	copy(out, magic[:])
+	out[4] = 1 // major
+	out[5] = 0 // minor
+	out[6] = 0 // flags: big-endian
+	out[7] = byte(t)
+	binary.BigEndian.PutUint32(out[8:], uint32(len(body)))
+	return append(out, body...)
+}
+
+// ParseHeader validates a GIOP header and returns the message type and the
+// body octets.
+func ParseHeader(data []byte) (MsgType, []byte, error) {
+	if len(data) < HeaderSize {
+		return 0, nil, fmt.Errorf("iiop: message shorter than GIOP header (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return 0, nil, fmt.Errorf("iiop: bad GIOP magic %q", data[:4])
+	}
+	if data[4] != 1 || data[5] != 0 {
+		return 0, nil, fmt.Errorf("iiop: unsupported GIOP version %d.%d", data[4], data[5])
+	}
+	if data[6]&0x01 != 0 {
+		return 0, nil, fmt.Errorf("iiop: little-endian GIOP not supported")
+	}
+	t := MsgType(data[7])
+	size := binary.BigEndian.Uint32(data[8:12])
+	if int(size) != len(data)-HeaderSize {
+		return 0, nil, fmt.Errorf("iiop: message size %d does not match body %d",
+			size, len(data)-HeaderSize)
+	}
+	return t, data[HeaderSize:], nil
+}
+
+// Request is a GIOP 1.0 Request message.
+type Request struct {
+	RequestID        uint32
+	ResponseExpected bool // false for CORBA one-way operations
+	ObjectKey        []byte
+	Operation        string
+	Principal        []byte
+	Body             []byte // CDR-encoded in/inout arguments
+}
+
+// Marshal produces the full IIOP octet stream (GIOP header + request).
+func (r *Request) Marshal() []byte {
+	e := NewEncoder()
+	e.WriteULong(0) // service_context: empty sequence
+	e.WriteULong(r.RequestID)
+	e.WriteBoolean(r.ResponseExpected)
+	e.WriteOctetSeq(r.ObjectKey)
+	e.WriteString(r.Operation)
+	e.WriteOctetSeq(r.Principal)
+	e.buf = append(e.buf, r.Body...) // body begins immediately after header
+	return frame(MsgRequest, e.Bytes())
+}
+
+// Reply is a GIOP 1.0 Reply message.
+type Reply struct {
+	RequestID uint32
+	Status    ReplyStatus
+	Body      []byte // CDR-encoded result, or exception encoding
+}
+
+// Marshal produces the full IIOP octet stream (GIOP header + reply).
+func (r *Reply) Marshal() []byte {
+	e := NewEncoder()
+	e.WriteULong(0) // service_context: empty sequence
+	e.WriteULong(r.RequestID)
+	e.WriteULong(uint32(r.Status))
+	e.buf = append(e.buf, r.Body...)
+	return frame(MsgReply, e.Bytes())
+}
+
+// Message is a parsed GIOP message: exactly one of the fields is non-nil.
+type Message struct {
+	Request *Request
+	Reply   *Reply
+}
+
+// Parse decodes a full IIOP octet stream into a Request or Reply.
+func Parse(data []byte) (*Message, error) {
+	t, body, err := ParseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case MsgRequest:
+		req, err := parseRequest(body)
+		if err != nil {
+			return nil, err
+		}
+		return &Message{Request: req}, nil
+	case MsgReply:
+		rep, err := parseReply(body)
+		if err != nil {
+			return nil, err
+		}
+		return &Message{Reply: rep}, nil
+	default:
+		return nil, fmt.Errorf("iiop: unsupported GIOP message type %s", t)
+	}
+}
+
+func parseRequest(body []byte) (*Request, error) {
+	d := NewDecoder(body)
+	nctx, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("request service context: %w", err)
+	}
+	if nctx != 0 {
+		return nil, fmt.Errorf("iiop: service contexts not supported (%d present)", nctx)
+	}
+	req := &Request{}
+	if req.RequestID, err = d.ReadULong(); err != nil {
+		return nil, fmt.Errorf("request id: %w", err)
+	}
+	if req.ResponseExpected, err = d.ReadBoolean(); err != nil {
+		return nil, fmt.Errorf("response expected: %w", err)
+	}
+	if req.ObjectKey, err = d.ReadOctetSeq(); err != nil {
+		return nil, fmt.Errorf("object key: %w", err)
+	}
+	if req.Operation, err = d.ReadString(); err != nil {
+		return nil, fmt.Errorf("operation: %w", err)
+	}
+	if req.Principal, err = d.ReadOctetSeq(); err != nil {
+		return nil, fmt.Errorf("principal: %w", err)
+	}
+	req.Body = append([]byte(nil), body[len(body)-d.Remaining():]...)
+	return req, nil
+}
+
+func parseReply(body []byte) (*Reply, error) {
+	d := NewDecoder(body)
+	nctx, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("reply service context: %w", err)
+	}
+	if nctx != 0 {
+		return nil, fmt.Errorf("iiop: service contexts not supported (%d present)", nctx)
+	}
+	rep := &Reply{}
+	id, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("reply request id: %w", err)
+	}
+	rep.RequestID = id
+	st, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("reply status: %w", err)
+	}
+	if st > uint32(ReplyLocationForward) {
+		return nil, fmt.Errorf("iiop: invalid reply status %d", st)
+	}
+	rep.Status = ReplyStatus(st)
+	rep.Body = append([]byte(nil), body[len(body)-d.Remaining():]...)
+	return rep, nil
+}

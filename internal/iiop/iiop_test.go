@@ -1,0 +1,296 @@
+package iiop
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDRRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.WriteOctet(7)
+	e.WriteBoolean(true)
+	e.WriteUShort(513)
+	e.WriteULong(1 << 20)
+	e.WriteLong(-5)
+	e.WriteULongLong(1 << 40)
+	e.WriteLongLong(-(1 << 41))
+	e.WriteString("hello CORBA")
+	e.WriteOctetSeq([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if v, err := d.ReadOctet(); err != nil || v != 7 {
+		t.Fatalf("octet = %d, %v", v, err)
+	}
+	if v, err := d.ReadBoolean(); err != nil || !v {
+		t.Fatalf("bool = %v, %v", v, err)
+	}
+	if v, err := d.ReadUShort(); err != nil || v != 513 {
+		t.Fatalf("ushort = %d, %v", v, err)
+	}
+	if v, err := d.ReadULong(); err != nil || v != 1<<20 {
+		t.Fatalf("ulong = %d, %v", v, err)
+	}
+	if v, err := d.ReadLong(); err != nil || v != -5 {
+		t.Fatalf("long = %d, %v", v, err)
+	}
+	if v, err := d.ReadULongLong(); err != nil || v != 1<<40 {
+		t.Fatalf("ulonglong = %d, %v", v, err)
+	}
+	if v, err := d.ReadLongLong(); err != nil || v != -(1<<41) {
+		t.Fatalf("longlong = %d, %v", v, err)
+	}
+	if v, err := d.ReadString(); err != nil || v != "hello CORBA" {
+		t.Fatalf("string = %q, %v", v, err)
+	}
+	if v, err := d.ReadOctetSeq(); err != nil || !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("octetseq = %v, %v", v, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("remaining = %d", d.Remaining())
+	}
+}
+
+func TestCDRAlignment(t *testing.T) {
+	// An octet followed by a ulong must insert 3 padding bytes.
+	e := NewEncoder()
+	e.WriteOctet(0xff)
+	e.WriteULong(1)
+	if e.Len() != 8 {
+		t.Fatalf("len = %d, want 8 (1 octet + 3 pad + 4 ulong)", e.Len())
+	}
+	// 8-alignment from offset 1 pads 7.
+	e2 := NewEncoder()
+	e2.WriteOctet(0xff)
+	e2.WriteULongLong(1)
+	if e2.Len() != 16 {
+		t.Fatalf("len = %d, want 16", e2.Len())
+	}
+	d := NewDecoder(e.Bytes())
+	d.ReadOctet()
+	if v, err := d.ReadULong(); err != nil || v != 1 {
+		t.Fatalf("aligned read = %d, %v", v, err)
+	}
+}
+
+func TestCDRStringValidation(t *testing.T) {
+	// Zero length (missing NUL) is invalid.
+	e := NewEncoder()
+	e.WriteULong(0)
+	if _, err := NewDecoder(e.Bytes()).ReadString(); err == nil {
+		t.Fatal("zero-length string accepted")
+	}
+	// Missing terminator is invalid.
+	e2 := NewEncoder()
+	e2.WriteULong(3)
+	e2.WriteOctet('a')
+	e2.WriteOctet('b')
+	e2.WriteOctet('c') // should be NUL
+	if _, err := NewDecoder(e2.Bytes()).ReadString(); err == nil {
+		t.Fatal("unterminated string accepted")
+	}
+}
+
+func TestCDRBadBoolean(t *testing.T) {
+	if _, err := NewDecoder([]byte{2}).ReadBoolean(); err == nil {
+		t.Fatal("boolean octet 2 accepted")
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := &Request{
+		RequestID:        42,
+		ResponseExpected: true,
+		ObjectKey:        []byte("Account/main"),
+		Operation:        "deposit",
+		Principal:        []byte("alice"),
+		Body:             []byte{0, 0, 0, 5},
+	}
+	raw := req.Marshal()
+	msg, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Request == nil || msg.Reply != nil {
+		t.Fatal("parsed wrong message kind")
+	}
+	got := msg.Request
+	if got.RequestID != 42 || !got.ResponseExpected ||
+		string(got.ObjectKey) != "Account/main" || got.Operation != "deposit" ||
+		string(got.Principal) != "alice" || !bytes.Equal(got.Body, req.Body) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestOneWayRequest(t *testing.T) {
+	req := &Request{RequestID: 1, ResponseExpected: false, ObjectKey: []byte("k"), Operation: "push"}
+	msg, err := Parse(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Request.ResponseExpected {
+		t.Fatal("one-way flag lost")
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	rep := &Reply{RequestID: 42, Status: ReplyUserException, Body: []byte("oops")}
+	msg, err := Parse(rep.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Reply == nil {
+		t.Fatal("parsed wrong kind")
+	}
+	if msg.Reply.RequestID != 42 || msg.Reply.Status != ReplyUserException ||
+		string(msg.Reply.Body) != "oops" {
+		t.Fatalf("round trip mismatch: %+v", msg.Reply)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		append([]byte("GIOX"), make([]byte, 8)...),                         // bad magic
+		append([]byte{'G', 'I', 'O', 'P', 2, 0, 0, 0}, make([]byte, 4)...), // bad version
+		func() []byte { // size mismatch
+			raw := (&Request{RequestID: 1, Operation: "x", ObjectKey: []byte("k")}).Marshal()
+			raw[11]++
+			return raw
+		}(),
+		func() []byte { // little-endian flag
+			raw := (&Request{RequestID: 1, Operation: "x", ObjectKey: []byte("k")}).Marshal()
+			raw[6] |= 1
+			return raw
+		}(),
+	}
+	for i, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestParseTruncationNeverPanics(t *testing.T) {
+	raw := (&Request{
+		RequestID: 9, ResponseExpected: true, ObjectKey: []byte("key"),
+		Operation: "op", Principal: []byte("p"), Body: []byte("body"),
+	}).Marshal()
+	for cut := 0; cut <= len(raw); cut++ {
+		_, _ = Parse(raw[:cut])
+	}
+	rawRep := (&Reply{RequestID: 3, Status: ReplyNoException, Body: []byte("r")}).Marshal()
+	for cut := 0; cut <= len(rawRep); cut++ {
+		_, _ = Parse(rawRep[:cut])
+	}
+}
+
+func TestParseFuzzNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Parse(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(id uint32, oneway bool, key []byte, op string, body []byte) bool {
+		// CDR strings cannot contain NUL.
+		opClean := make([]rune, 0, len(op))
+		for _, r := range op {
+			if r != 0 {
+				opClean = append(opClean, r)
+			}
+		}
+		req := &Request{
+			RequestID: id, ResponseExpected: !oneway,
+			ObjectKey: key, Operation: string(opClean), Body: body,
+		}
+		msg, err := Parse(req.Marshal())
+		if err != nil {
+			return false
+		}
+		g := msg.Request
+		return g.RequestID == id && g.ResponseExpected == !oneway &&
+			bytes.Equal(g.ObjectKey, key) && g.Operation == string(opClean) &&
+			bytes.Equal(g.Body, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvocationMessageSize(t *testing.T) {
+	// The paper's packet driver uses fixed-length 64-byte IIOP messages
+	// (§8). Verify a realistic small one-way request fits that regime.
+	req := &Request{
+		RequestID:        1,
+		ResponseExpected: false,
+		ObjectKey:        []byte("sink"),
+		Operation:        "push",
+		Body:             bytes.Repeat([]byte{0xab}, 16),
+	}
+	raw := req.Marshal()
+	if len(raw) < 32 || len(raw) > 96 {
+		t.Fatalf("representative one-way request is %d bytes; want around 64", len(raw))
+	}
+}
+
+func TestMsgTypeAndStatusStrings(t *testing.T) {
+	if MsgRequest.String() != "Request" || MsgReply.String() != "Reply" ||
+		MsgError.String() != "MessageError" || MsgType(99).String() != "MsgType(99)" {
+		t.Fatal("msg type strings wrong")
+	}
+	if ReplyNoException.String() != "NO_EXCEPTION" ||
+		ReplySystemException.String() != "SYSTEM_EXCEPTION" ||
+		ReplyStatus(9).String() != "ReplyStatus(9)" {
+		t.Fatal("reply status strings wrong")
+	}
+}
+
+func TestCDRNumericExtensions(t *testing.T) {
+	e := NewEncoder()
+	e.WriteShort(-7)
+	e.WriteFloat(3.5)
+	e.WriteDouble(-2.25)
+	d := NewDecoder(e.Bytes())
+	if v, err := d.ReadShort(); err != nil || v != -7 {
+		t.Fatalf("short = %d, %v", v, err)
+	}
+	if v, err := d.ReadFloat(); err != nil || v != 3.5 {
+		t.Fatalf("float = %v, %v", v, err)
+	}
+	if v, err := d.ReadDouble(); err != nil || v != -2.25 {
+		t.Fatalf("double = %v, %v", v, err)
+	}
+}
+
+func TestCDRFloatRoundTripProperty(t *testing.T) {
+	f := func(a float64, b float32, pad uint8) bool {
+		e := NewEncoder()
+		for i := 0; i < int(pad%8); i++ {
+			e.WriteOctet(0xcc) // misalign the stream
+		}
+		e.WriteDouble(a)
+		e.WriteFloat(b)
+		d := NewDecoder(e.Bytes())
+		for i := 0; i < int(pad%8); i++ {
+			d.ReadOctet()
+		}
+		ga, err1 := d.ReadDouble()
+		gb, err2 := d.ReadFloat()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// NaN round-trips bit-exactly but is not == comparable.
+		okA := ga == a || (a != a && ga != ga)
+		okB := gb == b || (b != b && gb != gb)
+		return okA && okB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Package interceptor implements the Immune system's IIOP interception
+// (paper §2): it captures the IIOP messages the ORB intends for TCP/IP and
+// passes them to the Replication Manager instead, without modification of
+// either the application objects or the ORB. It plugs into the emulated
+// ORB as a Transport — the same seam a commercial ORB exposes through
+// library interposition in the paper's prototype.
+package interceptor
+
+import (
+	"fmt"
+	"sync"
+
+	"immune/internal/ids"
+	"immune/internal/iiop"
+	"immune/internal/orb"
+	"immune/internal/replication"
+)
+
+// Invoker is the Replication Manager capability the interceptor needs:
+// replicated two-way and one-way invocation on behalf of the local client
+// replica. *replication.Handle satisfies it.
+type Invoker interface {
+	Invoke(target ids.ObjectGroupID, iiopRequest []byte) ([]byte, error)
+	InvokeOneWay(target ids.ObjectGroupID, iiopRequest []byte) error
+}
+
+var _ Invoker = (*replication.Handle)(nil)
+
+// Interceptor diverts a client's outgoing IIOP requests into the local
+// Replication Manager, which multicasts them to the target server object
+// group and returns the majority-voted reply.
+type Interceptor struct {
+	client Invoker
+
+	mu       sync.RWMutex
+	bindings map[string]ids.ObjectGroupID
+}
+
+var _ orb.Transport = (*Interceptor)(nil)
+
+// New creates an interceptor sending on behalf of the given local client
+// replica.
+func New(client Invoker) *Interceptor {
+	return &Interceptor{
+		client:   client,
+		bindings: make(map[string]ids.ObjectGroupID),
+	}
+}
+
+// Bind maps a CORBA object key to the server object group implementing it
+// (the Immune system's equivalent of an object reference resolving to a
+// group, §5: "the object group interface enables an object to invoke the
+// services of another object group in a transparent manner").
+func (i *Interceptor) Bind(objectKey string, g ids.ObjectGroupID) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.bindings[objectKey] = g
+}
+
+// Resolve returns the group bound to an object key.
+func (i *Interceptor) Resolve(objectKey string) (ids.ObjectGroupID, bool) {
+	i.mu.RLock()
+	defer i.mu.RUnlock()
+	g, ok := i.bindings[objectKey]
+	return g, ok
+}
+
+// Submit implements orb.Transport: the interception point. The marshaled
+// IIOP request — unchanged — is handed to the Replication Manager for
+// secure reliable totally ordered multicast to the target group.
+func (i *Interceptor) Submit(request []byte, oneway bool) (<-chan []byte, error) {
+	msg, err := iiop.Parse(request)
+	if err != nil || msg.Request == nil {
+		return nil, fmt.Errorf("interceptor: not an IIOP request: %v", err)
+	}
+	target, ok := i.Resolve(string(msg.Request.ObjectKey))
+	if !ok {
+		return nil, fmt.Errorf("interceptor: object key %q not bound to a group",
+			msg.Request.ObjectKey)
+	}
+	if oneway {
+		if err := i.client.InvokeOneWay(target, request); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	ch := make(chan []byte, 1)
+	requestID := msg.Request.RequestID
+	go func() {
+		reply, err := i.client.Invoke(target, request)
+		if err != nil {
+			// Surface infrastructure failures as CORBA system
+			// exceptions so the stub's error path stays uniform.
+			e := iiop.NewEncoder()
+			e.WriteString(err.Error())
+			reply = (&iiop.Reply{
+				RequestID: requestID,
+				Status:    iiop.ReplySystemException,
+				Body:      e.Bytes(),
+			}).Marshal()
+		}
+		ch <- reply
+	}()
+	return ch, nil
+}

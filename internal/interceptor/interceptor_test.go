@@ -1,0 +1,147 @@
+package interceptor
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"immune/internal/ids"
+	"immune/internal/iiop"
+	"immune/internal/orb"
+)
+
+// fakeInvoker records calls and returns scripted replies.
+type fakeInvoker struct {
+	lastTarget ids.ObjectGroupID
+	lastReq    []byte
+	oneways    int
+	reply      []byte
+	err        error
+}
+
+func (f *fakeInvoker) Invoke(target ids.ObjectGroupID, req []byte) ([]byte, error) {
+	f.lastTarget = target
+	f.lastReq = append([]byte(nil), req...)
+	return f.reply, f.err
+}
+
+func (f *fakeInvoker) InvokeOneWay(target ids.ObjectGroupID, req []byte) error {
+	f.lastTarget = target
+	f.lastReq = append([]byte(nil), req...)
+	f.oneways++
+	return f.err
+}
+
+func request(key, op string, oneway bool) []byte {
+	return (&iiop.Request{
+		RequestID:        7,
+		ResponseExpected: !oneway,
+		ObjectKey:        []byte(key),
+		Operation:        op,
+		Body:             []byte("args"),
+	}).Marshal()
+}
+
+func TestBindResolve(t *testing.T) {
+	ic := New(&fakeInvoker{})
+	if _, ok := ic.Resolve("x"); ok {
+		t.Fatal("unbound key resolved")
+	}
+	ic.Bind("x", 5)
+	g, ok := ic.Resolve("x")
+	if !ok || g != 5 {
+		t.Fatalf("Resolve = (%v, %v)", g, ok)
+	}
+}
+
+func TestSubmitDivertsUnchangedRequest(t *testing.T) {
+	// Transparency (§2): the intercepted IIOP bytes reach the
+	// Replication Manager without modification.
+	fake := &fakeInvoker{reply: (&iiop.Reply{RequestID: 7}).Marshal()}
+	ic := New(fake)
+	ic.Bind("Account/main", 9)
+
+	raw := request("Account/main", "deposit", false)
+	ch, err := ic.Submit(raw, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case reply := <-ch:
+		msg, err := iiop.Parse(reply)
+		if err != nil || msg.Reply == nil || msg.Reply.RequestID != 7 {
+			t.Fatalf("bad reply: %v %v", msg, err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no reply")
+	}
+	if fake.lastTarget != 9 {
+		t.Fatalf("routed to group %v", fake.lastTarget)
+	}
+	if !bytes.Equal(fake.lastReq, raw) {
+		t.Fatal("request bytes modified in interception")
+	}
+}
+
+func TestSubmitOneWay(t *testing.T) {
+	fake := &fakeInvoker{}
+	ic := New(fake)
+	ic.Bind("k", 3)
+	ch, err := ic.Submit(request("k", "push", true), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch != nil {
+		t.Fatal("one-way returned a reply channel")
+	}
+	if fake.oneways != 1 {
+		t.Fatalf("oneways = %d", fake.oneways)
+	}
+}
+
+func TestSubmitUnboundKeyFails(t *testing.T) {
+	ic := New(&fakeInvoker{})
+	if _, err := ic.Submit(request("ghost", "op", false), false); err == nil {
+		t.Fatal("unbound key accepted")
+	}
+}
+
+func TestSubmitGarbageFails(t *testing.T) {
+	ic := New(&fakeInvoker{})
+	if _, err := ic.Submit([]byte("not iiop"), false); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A Reply is not a Request.
+	if _, err := ic.Submit((&iiop.Reply{RequestID: 1}).Marshal(), false); err == nil {
+		t.Fatal("reply accepted as request")
+	}
+}
+
+func TestInvokeErrorBecomesSystemException(t *testing.T) {
+	fake := &fakeInvoker{err: errors.New("quorum lost")}
+	ic := New(fake)
+	ic.Bind("k", 3)
+	ch, err := ic.Submit(request("k", "op", false), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := <-ch
+	msg, err := iiop.Parse(reply)
+	if err != nil || msg.Reply == nil {
+		t.Fatal("unparseable synthesized reply")
+	}
+	if msg.Reply.Status != iiop.ReplySystemException {
+		t.Fatalf("status = %v", msg.Reply.Status)
+	}
+	if got := orb.DecodeException(msg.Reply.Body); got != "quorum lost" {
+		t.Fatalf("exception text %q", got)
+	}
+	if msg.Reply.RequestID != 7 {
+		t.Fatalf("request id %d not preserved", msg.Reply.RequestID)
+	}
+}
+
+func TestTransportInterfaceCompliance(t *testing.T) {
+	var _ orb.Transport = New(&fakeInvoker{})
+}

@@ -1,0 +1,581 @@
+// Package membership implements the processor membership protocol of the
+// Secure Multicast Protocols (paper §7.2, Table 4). The protocol
+// reconfigures the system when processors exhibit faulty behavior: it
+// exchanges information via special signed Membership messages, reaches
+// agreement on a new membership consisting of apparently correct
+// processors that can communicate with each other, and installs it.
+// Installation tears down the old ring configuration and starts a new one
+// with a fresh ring identifier.
+//
+// Target properties (Table 4): Uniqueness, Self-Inclusion, Total Order of
+// installs, Eventual Exclusion of faulty processors, and Eventual
+// Inclusion of correct ones. Termination rests on the Byzantine fault
+// detector's properties (§7.2).
+//
+// Protocol sketch (a deliberately simplified SecureRing-style exchange;
+// the original is a full Byzantine agreement, see DESIGN.md):
+//
+//  1. When the local fault detector's suspect list makes the current view
+//     untenable — or a valid Propose for the next install arrives — the
+//     processor multicasts Propose{install i+1, members = view − suspects}.
+//  2. Proposals are re-multicast periodically until installation; each
+//     carries the sender's suspect list. A suspicion corroborated by more
+//     than ⌊(n−1)/3⌋ distinct members must include a correct reporter and
+//     is adopted (cross-processor Byzantine completeness).
+//  3. While forming, members exchange old-ring Flush traffic so lagging
+//     members deliver the old ring's tail (cross-configuration Reliable
+//     Delivery).
+//  4. When the latest proposals from every member of my proposal agree
+//     exactly with mine and the flush barrier is met (or timed out), the
+//     processor multicasts Commit and installs. A Commit for install i+1
+//     from an unsuspected member with a matching-quorum proposal is
+//     adopted by members still forming, which makes installs contagious
+//     and keeps correct processors in step.
+package membership
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"immune/internal/ids"
+	"immune/internal/sec"
+	"immune/internal/wire"
+)
+
+// Install describes one installed processor membership.
+type Install struct {
+	ID      ids.MembershipID
+	Ring    ids.RingID
+	Members []ids.ProcessorID // sorted
+}
+
+// RingBridge is the membership protocol's handle on the current ring
+// configuration, used for the flush exchange during formation. The SMP
+// layer provides an adapter that always points at the live ring instance.
+type RingBridge interface {
+	// Delivered returns the all-delivered-up-to of the current ring.
+	Delivered() uint64
+	// RecoveryDigests returns digest vouchers above from.
+	RecoveryDigests(from uint64) []wire.DigestEntry
+	// RecoveryMessages returns held message encodings above from.
+	RecoveryMessages(from uint64) [][]byte
+	// AdoptFlushDigests installs vouchers received from a peer flush.
+	AdoptFlushDigests(entries []wire.DigestEntry, from ids.ProcessorID)
+	// HandleRegular feeds a re-multicast old-ring message to the ring.
+	HandleRegular(raw []byte)
+}
+
+// Transport multicasts membership traffic on the underlying network.
+type Transport interface {
+	Multicast(payload []byte)
+}
+
+// SuspectSource exposes the local fault detector's current output.
+type SuspectSource interface {
+	Suspects() []ids.ProcessorID
+	Suspected(p ids.ProcessorID) bool
+	// AdoptSuspicion records a corroborated remote suspicion.
+	AdoptSuspicion(p ids.ProcessorID, reason string)
+	// Unresponsive reports a member that ignored the exchange.
+	Unresponsive(p ids.ProcessorID)
+}
+
+// Config parameterizes the membership module of one processor.
+type Config struct {
+	Self  ids.ProcessorID
+	Suite *sec.Suite
+	Trans Transport
+	// Initial is the first installed membership (install 1, ring 1).
+	Initial []ids.ProcessorID
+	// Source is the local Byzantine fault detector.
+	Source SuspectSource
+	// Bridge reaches the live ring for the flush exchange.
+	Bridge RingBridge
+	// OnInstall fires when a new membership is installed. Required.
+	OnInstall func(Install)
+	// ProposeInterval is the re-multicast period while forming; 0 means
+	// 5ms.
+	ProposeInterval time.Duration
+	// FormTimeout is how long to wait for a member's proposal before
+	// reporting it unresponsive; 0 means 100ms.
+	FormTimeout time.Duration
+	// FlushTimeout bounds the flush barrier wait; 0 means 50ms.
+	FlushTimeout time.Duration
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+// Membership runs the processor membership protocol for one processor.
+// All methods must be called from the owning processor's event goroutine.
+type Membership struct {
+	cfg Config
+	now func() time.Time
+
+	current Install
+	joined  map[ids.ProcessorID]bool // non-members asking to join
+
+	forming      bool
+	attempt      uint64
+	myProposal   []ids.ProcessorID
+	proposals    map[ids.ProcessorID]*wire.Membership // latest per sender
+	suspectVotes map[ids.ProcessorID]map[ids.ProcessorID]bool
+	formStarted  time.Time
+	lastPropose  time.Time
+	lastFlush    time.Time
+
+	installs atomic.Uint64 // installs beyond the initial one (cross-goroutine reads)
+}
+
+// New validates the configuration and installs the initial membership.
+func New(cfg Config) (*Membership, error) {
+	if len(cfg.Initial) == 0 {
+		return nil, fmt.Errorf("membership: empty initial membership")
+	}
+	if cfg.OnInstall == nil {
+		return nil, fmt.Errorf("membership: OnInstall required")
+	}
+	if cfg.Trans == nil || cfg.Source == nil || cfg.Bridge == nil || cfg.Suite == nil {
+		return nil, fmt.Errorf("membership: transport, source, bridge and suite required")
+	}
+	if cfg.ProposeInterval <= 0 {
+		cfg.ProposeInterval = 5 * time.Millisecond
+	}
+	if cfg.FormTimeout <= 0 {
+		cfg.FormTimeout = 100 * time.Millisecond
+	}
+	if cfg.FlushTimeout <= 0 {
+		cfg.FlushTimeout = 50 * time.Millisecond
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	initial := wire.SortProcessors(append([]ids.ProcessorID(nil), cfg.Initial...))
+	selfIn := false
+	for _, p := range initial {
+		if p == cfg.Self {
+			selfIn = true
+		}
+	}
+	if !selfIn {
+		return nil, fmt.Errorf("membership: self %s not in initial membership", cfg.Self)
+	}
+	m := &Membership{
+		cfg:          cfg,
+		now:          cfg.Now,
+		joined:       make(map[ids.ProcessorID]bool),
+		proposals:    make(map[ids.ProcessorID]*wire.Membership),
+		suspectVotes: make(map[ids.ProcessorID]map[ids.ProcessorID]bool),
+		current:      Install{ID: 1, Ring: 1, Members: initial},
+	}
+	return m, nil
+}
+
+// Current returns the installed membership.
+func (m *Membership) Current() Install {
+	return Install{
+		ID:      m.current.ID,
+		Ring:    m.current.Ring,
+		Members: append([]ids.ProcessorID(nil), m.current.Members...),
+	}
+}
+
+// Installs returns how many memberships have been installed beyond the
+// initial one.
+func (m *Membership) Installs() uint64 { return m.installs.Load() }
+
+// Forming reports whether a membership change is in progress.
+func (m *Membership) Forming() bool { return m.forming }
+
+// Quorate reports whether a membership of size n can tolerate its current
+// suspect load: at least ceil((2n+1)/3) of n processors must be correct
+// (paper §3.1, §7.1).
+func Quorate(n, faulty int) bool {
+	return faulty <= (n-1)/3
+}
+
+// MinCorrect returns ceil((2n+1)/3), the minimum number of correct
+// processors required in a membership of size n.
+func MinCorrect(n int) int { return (2*n + 1 + 2) / 3 }
+
+// Tick drives formation: starting a change when suspects appear, periodic
+// proposal re-multicast, flush exchange, unresponsive detection, and the
+// install decision.
+func (m *Membership) Tick() {
+	if !m.forming {
+		if m.needChange() {
+			m.beginForming()
+		}
+		return
+	}
+	now := m.now()
+	if now.Sub(m.lastPropose) >= m.cfg.ProposeInterval {
+		m.multicastProposal()
+	}
+	if now.Sub(m.lastFlush) >= m.cfg.ProposeInterval {
+		m.flush()
+	}
+	if now.Sub(m.formStarted) >= m.cfg.FormTimeout {
+		m.reportUnresponsive()
+		m.formStarted = now // rearm
+		m.recomputeProposal()
+	}
+	m.tryInstall()
+}
+
+// needChange reports whether the installed view conflicts with the
+// detector's suspicions or pending joins.
+func (m *Membership) needChange() bool {
+	for _, p := range m.current.Members {
+		if p != m.cfg.Self && m.cfg.Source.Suspected(p) {
+			return true
+		}
+	}
+	for p := range m.joined {
+		if !m.cfg.Source.Suspected(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// beginForming opens a membership change for install current+1.
+func (m *Membership) beginForming() {
+	m.forming = true
+	m.formStarted = m.now()
+	m.proposals = make(map[ids.ProcessorID]*wire.Membership)
+	m.suspectVotes = make(map[ids.ProcessorID]map[ids.ProcessorID]bool)
+	m.recomputeProposal()
+}
+
+// recomputeProposal derives my proposal from the current view, pending
+// joins, and the detector's suspect set, then multicasts it.
+func (m *Membership) recomputeProposal() {
+	set := make(map[ids.ProcessorID]bool, len(m.current.Members)+len(m.joined))
+	for _, p := range m.current.Members {
+		set[p] = true
+	}
+	for p := range m.joined {
+		set[p] = true
+	}
+	for _, s := range m.cfg.Source.Suspects() {
+		delete(set, s)
+	}
+	set[m.cfg.Self] = true // Self-Inclusion (Table 4)
+	proposal := make([]ids.ProcessorID, 0, len(set))
+	for p := range set {
+		proposal = append(proposal, p)
+	}
+	wire.SortProcessors(proposal)
+	if !wire.SameMembers(proposal, m.myProposal) {
+		m.myProposal = proposal
+		m.attempt++
+	}
+	m.multicastProposal()
+}
+
+// multicastProposal signs and sends the current proposal.
+func (m *Membership) multicastProposal() {
+	msg := &wire.Membership{
+		Sender:    m.cfg.Self,
+		Kind:      wire.MembershipPropose,
+		Attempt:   m.attempt,
+		InstallID: m.current.ID + 1,
+		NewRing:   m.current.Ring + 1,
+		Delivered: m.cfg.Bridge.Delivered(),
+		Members:   m.myProposal,
+		Suspects:  m.cfg.Source.Suspects(),
+	}
+	if err := m.sign(msg); err != nil {
+		return
+	}
+	m.cfg.Trans.Multicast(msg.Marshal())
+	m.lastPropose = m.now()
+	// Record our own proposal so tryInstall sees it uniformly.
+	m.proposals[m.cfg.Self] = msg
+}
+
+func (m *Membership) sign(msg *wire.Membership) error {
+	sig, err := m.cfg.Suite.SignToken(msg.SignedPortion())
+	if err != nil {
+		return err
+	}
+	msg.Signature = sig
+	return nil
+}
+
+// HandleMessage processes a received Membership protocol payload.
+func (m *Membership) HandleMessage(raw []byte) {
+	msg, err := wire.UnmarshalMembership(raw)
+	if err != nil {
+		return
+	}
+	if msg.Sender == m.cfg.Self {
+		return
+	}
+	if !m.cfg.Suite.VerifyToken(msg.Sender, msg.SignedPortion(), msg.Signature) {
+		return
+	}
+	if msg.InstallID != m.current.ID+1 {
+		return // stale or far-future install
+	}
+	if m.cfg.Source.Suspected(msg.Sender) {
+		return // no standing
+	}
+
+	member := m.isMember(msg.Sender)
+	switch msg.Kind {
+	case wire.MembershipPropose:
+		if !member {
+			// A join request: a correct processor asking to be included
+			// (Eventual Inclusion, Table 4). Faulty processors were
+			// filtered by the suspicion check above; once excluded for
+			// a sticky reason they can never rejoin. If the joiner is
+			// already in our proposal, its message also counts as its
+			// proposal for the agreement check below.
+			m.joined[msg.Sender] = true
+			if !m.inProposal(msg.Sender) {
+				return
+			}
+		}
+		if prev, ok := m.proposals[msg.Sender]; ok && prev.Attempt >= msg.Attempt {
+			return // older than what we have
+		}
+		if !m.forming {
+			m.beginForming()
+		}
+		m.proposals[msg.Sender] = msg
+		m.recordSuspectVotes(msg)
+		// A proposal revealing a laggard triggers an eager flush so the
+		// install barrier can clear without waiting for the next Tick.
+		if msg.Delivered < m.cfg.Bridge.Delivered() {
+			m.flush()
+		}
+		m.tryInstall()
+	case wire.MembershipCommit:
+		if !member || !m.forming {
+			return
+		}
+		// Adopt a commit whose membership we could plausibly have
+		// proposed: sender included, self included, and no member we
+		// hold a sticky suspicion against.
+		if !m.plausible(msg.Members, msg.Sender) {
+			return
+		}
+		m.install(msg.Members, msg.InstallID, msg.NewRing)
+	}
+}
+
+// recordSuspectVotes tallies who proposes to exclude whom; adopting a
+// suspicion only when more than ⌊(n−1)/3⌋ distinct members corroborate it
+// guarantees at least one correct reporter, so a Byzantine clique cannot
+// frame a correct processor.
+func (m *Membership) recordSuspectVotes(msg *wire.Membership) {
+	n := len(m.current.Members)
+	for _, s := range msg.Suspects {
+		if s == m.cfg.Self {
+			continue
+		}
+		votes := m.suspectVotes[s]
+		if votes == nil {
+			votes = make(map[ids.ProcessorID]bool)
+			m.suspectVotes[s] = votes
+		}
+		votes[msg.Sender] = true
+		if len(votes) > (n-1)/3 && !m.cfg.Source.Suspected(s) {
+			m.cfg.Source.AdoptSuspicion(s, "corroborated by membership proposals")
+			m.recomputeProposal()
+		}
+	}
+}
+
+// HandleFlush processes an old-ring Flush message.
+func (m *Membership) HandleFlush(raw []byte) {
+	f, err := wire.UnmarshalFlush(raw)
+	if err != nil {
+		return
+	}
+	if f.Ring != m.current.Ring || !m.isMember(f.Sender) {
+		return
+	}
+	if !m.cfg.Suite.VerifyToken(f.Sender, f.SignedPortion(), f.Signature) {
+		return
+	}
+	m.cfg.Bridge.AdoptFlushDigests(f.Digests, f.Sender)
+}
+
+// inProposal reports whether p is in my current proposal.
+func (m *Membership) inProposal(p ids.ProcessorID) bool {
+	for _, q := range m.myProposal {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// flush multicasts recovery data for members behind the maximum delivered
+// point we have seen in proposals. Rate-limited to one flush per
+// ProposeInterval.
+func (m *Membership) flush() {
+	if m.now().Sub(m.lastFlush) < m.cfg.ProposeInterval {
+		return
+	}
+	m.lastFlush = m.now()
+	myDelivered := m.cfg.Bridge.Delivered()
+	minBehind := myDelivered
+	behind := false
+	for _, p := range m.proposals {
+		if p.Delivered < myDelivered {
+			behind = true
+			if p.Delivered < minBehind {
+				minBehind = p.Delivered
+			}
+		}
+	}
+	if !behind {
+		return
+	}
+	f := &wire.Flush{
+		Sender:    m.cfg.Self,
+		Ring:      m.current.Ring,
+		Delivered: myDelivered,
+		Digests:   m.cfg.Bridge.RecoveryDigests(minBehind),
+	}
+	sig, err := m.cfg.Suite.SignToken(f.SignedPortion())
+	if err != nil {
+		return
+	}
+	f.Signature = sig
+	m.cfg.Trans.Multicast(f.Marshal())
+	for _, raw := range m.cfg.Bridge.RecoveryMessages(minBehind) {
+		m.cfg.Trans.Multicast(raw)
+	}
+}
+
+// reportUnresponsive tells the detector about proposal members that have
+// not answered within the formation timeout.
+func (m *Membership) reportUnresponsive() {
+	for _, p := range m.myProposal {
+		if p == m.cfg.Self {
+			continue
+		}
+		if _, ok := m.proposals[p]; !ok {
+			m.cfg.Source.Unresponsive(p)
+		}
+	}
+}
+
+// tryInstall installs when every member of my proposal has a latest
+// proposal identical to mine and the flush barrier is met or expired.
+func (m *Membership) tryInstall() {
+	if !m.forming || len(m.myProposal) == 0 {
+		return
+	}
+	maxDelivered := m.cfg.Bridge.Delivered()
+	minDelivered := maxDelivered
+	for _, p := range m.myProposal {
+		prop, ok := m.proposals[p]
+		if !ok || !wire.SameMembers(prop.Members, m.myProposal) {
+			return
+		}
+		if p == m.cfg.Self {
+			continue // our live delivered counts, not the stale snapshot
+		}
+		if prop.Delivered > maxDelivered {
+			maxDelivered = prop.Delivered
+		}
+		if prop.Delivered < minDelivered {
+			minDelivered = prop.Delivered
+		}
+	}
+	// Flush barrier: hold the install until every agreeing member has
+	// delivered the old ring's tail (their re-multicast proposals carry
+	// rising Delivered values as the flush lands), unless the barrier
+	// times out — a Byzantine member could otherwise stall installs with
+	// an inflated claim or a frozen one.
+	if minDelivered < maxDelivered &&
+		m.now().Sub(m.formStarted) < m.cfg.FlushTimeout {
+		m.flush()
+		return
+	}
+	commit := &wire.Membership{
+		Sender:    m.cfg.Self,
+		Kind:      wire.MembershipCommit,
+		Attempt:   m.attempt,
+		InstallID: m.current.ID + 1,
+		NewRing:   m.current.Ring + 1,
+		Delivered: m.cfg.Bridge.Delivered(),
+		Members:   m.myProposal,
+	}
+	if err := m.sign(commit); err != nil {
+		return
+	}
+	m.cfg.Trans.Multicast(commit.Marshal())
+	m.install(m.myProposal, m.current.ID+1, m.current.Ring+1)
+}
+
+// plausible checks whether a commit's membership could have been agreed by
+// correct processors from this processor's standpoint.
+func (m *Membership) plausible(members []ids.ProcessorID, sender ids.ProcessorID) bool {
+	selfIn, senderIn := false, false
+	for _, p := range members {
+		if p == m.cfg.Self {
+			selfIn = true
+		}
+		if p == sender {
+			senderIn = true
+		}
+		if m.cfg.Source.Suspected(p) {
+			return false
+		}
+	}
+	return selfIn && senderIn
+}
+
+// install finalizes the new membership.
+func (m *Membership) install(members []ids.ProcessorID, id ids.MembershipID, ring ids.RingID) {
+	m.forming = false
+	m.attempt = 0
+	m.myProposal = nil
+	m.proposals = make(map[ids.ProcessorID]*wire.Membership)
+	m.suspectVotes = make(map[ids.ProcessorID]map[ids.ProcessorID]bool)
+	sorted := wire.SortProcessors(append([]ids.ProcessorID(nil), members...))
+	m.current = Install{ID: id, Ring: ring, Members: sorted}
+	for _, p := range sorted {
+		delete(m.joined, p)
+	}
+	m.installs.Add(1)
+	m.cfg.OnInstall(m.Current())
+}
+
+// RequestJoin multicasts a join request: a proposal for the next install
+// that includes this processor. Used by a processor that is not (or no
+// longer) a member. Current members treat it as a join request and start a
+// membership change that includes the requester, provided their detectors
+// hold nothing against it.
+func (m *Membership) RequestJoin(view Install) {
+	m.current = view // adopt the view we are joining into
+	msg := &wire.Membership{
+		Sender:    m.cfg.Self,
+		Kind:      wire.MembershipPropose,
+		Attempt:   m.attempt + 1,
+		InstallID: view.ID + 1,
+		NewRing:   view.Ring + 1,
+		Members:   []ids.ProcessorID{m.cfg.Self},
+	}
+	m.attempt++
+	if err := m.sign(msg); err != nil {
+		return
+	}
+	m.cfg.Trans.Multicast(msg.Marshal())
+}
+
+func (m *Membership) isMember(p ids.ProcessorID) bool {
+	for _, q := range m.current.Members {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,502 @@
+package membership
+
+import (
+	"testing"
+	"time"
+
+	"immune/internal/ids"
+	"immune/internal/sec"
+	"immune/internal/wire"
+)
+
+// fakeSource is a scriptable SuspectSource.
+type fakeSource struct {
+	suspects     map[ids.ProcessorID]bool
+	adopted      []ids.ProcessorID
+	unresponsive []ids.ProcessorID
+}
+
+func newFakeSource() *fakeSource {
+	return &fakeSource{suspects: make(map[ids.ProcessorID]bool)}
+}
+
+func (s *fakeSource) Suspects() []ids.ProcessorID {
+	out := make([]ids.ProcessorID, 0, len(s.suspects))
+	for p := range s.suspects {
+		out = append(out, p)
+	}
+	return wire.SortProcessors(out)
+}
+
+func (s *fakeSource) Suspected(p ids.ProcessorID) bool { return s.suspects[p] }
+
+func (s *fakeSource) AdoptSuspicion(p ids.ProcessorID, _ string) {
+	s.suspects[p] = true
+	s.adopted = append(s.adopted, p)
+}
+
+func (s *fakeSource) Unresponsive(p ids.ProcessorID) {
+	s.suspects[p] = true
+	s.unresponsive = append(s.unresponsive, p)
+}
+
+// fakeBridge is a scriptable RingBridge.
+type fakeBridge struct {
+	delivered uint64
+	digests   []wire.DigestEntry
+	msgs      [][]byte
+	adopted   []wire.DigestEntry
+	fed       [][]byte
+}
+
+func (b *fakeBridge) Delivered() uint64 { return b.delivered }
+
+func (b *fakeBridge) RecoveryDigests(from uint64) []wire.DigestEntry {
+	var out []wire.DigestEntry
+	for _, d := range b.digests {
+		if d.Seq > from {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (b *fakeBridge) RecoveryMessages(from uint64) [][]byte { return b.msgs }
+
+func (b *fakeBridge) AdoptFlushDigests(entries []wire.DigestEntry, _ ids.ProcessorID) {
+	b.adopted = append(b.adopted, entries...)
+	// Pretend flushing catches us up.
+	for _, e := range entries {
+		if e.Seq > b.delivered {
+			b.delivered = e.Seq
+		}
+	}
+}
+
+func (b *fakeBridge) HandleRegular(raw []byte) { b.fed = append(b.fed, raw) }
+
+// memberSim wires N membership instances over a synchronous loopback.
+type memberSim struct {
+	t        *testing.T
+	clock    time.Time
+	insts    map[ids.ProcessorID]*Membership
+	sources  map[ids.ProcessorID]*fakeSource
+	bridges  map[ids.ProcessorID]*fakeBridge
+	installs map[ids.ProcessorID][]Install
+	inflight []struct {
+		from    ids.ProcessorID
+		payload []byte
+	}
+	dropTo map[ids.ProcessorID]bool // receivers whose traffic is dropped
+}
+
+type simTransport struct {
+	sim  *memberSim
+	self ids.ProcessorID
+}
+
+func (tr simTransport) Multicast(p []byte) {
+	tr.sim.inflight = append(tr.sim.inflight, struct {
+		from    ids.ProcessorID
+		payload []byte
+	}{tr.self, append([]byte(nil), p...)})
+}
+
+func newMemberSim(t *testing.T, members []ids.ProcessorID, level sec.Level) *memberSim {
+	t.Helper()
+	sim := &memberSim{
+		t:        t,
+		clock:    time.Unix(1000, 0),
+		insts:    make(map[ids.ProcessorID]*Membership),
+		sources:  make(map[ids.ProcessorID]*fakeSource),
+		bridges:  make(map[ids.ProcessorID]*fakeBridge),
+		installs: make(map[ids.ProcessorID][]Install),
+		dropTo:   make(map[ids.ProcessorID]bool),
+	}
+	keyRing := sec.NewKeyRing()
+	keys := make(map[ids.ProcessorID]*sec.KeyPair)
+	if level >= sec.LevelSignatures {
+		for _, p := range members {
+			kp, err := sec.GenerateKeyPair(128, sec.NewSeededReader(uint64(p)*77+5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys[p] = kp
+			keyRing.Register(p, kp.Public())
+		}
+	}
+	for _, p := range members {
+		p := p
+		suite, err := sec.NewSuite(level, p, keys[p], keyRing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := newFakeSource()
+		br := &fakeBridge{}
+		m, err := New(Config{
+			Self:            p,
+			Suite:           suite,
+			Trans:           simTransport{sim: sim, self: p},
+			Initial:         members,
+			Source:          src,
+			Bridge:          br,
+			ProposeInterval: time.Millisecond,
+			FormTimeout:     20 * time.Millisecond,
+			FlushTimeout:    10 * time.Millisecond,
+			Now:             func() time.Time { return sim.clock },
+			OnInstall: func(in Install) {
+				sim.installs[p] = append(sim.installs[p], in)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.insts[p] = m
+		sim.sources[p] = src
+		sim.bridges[p] = br
+	}
+	return sim
+}
+
+// step advances the clock, ticks every instance, and delivers all traffic.
+func (s *memberSim) step(d time.Duration) {
+	s.clock = s.clock.Add(d)
+	for _, m := range s.insts {
+		m.Tick()
+	}
+	// Deliver until quiescent (sends can trigger sends).
+	for rounds := 0; rounds < 20 && len(s.inflight) > 0; rounds++ {
+		batch := s.inflight
+		s.inflight = nil
+		for _, f := range batch {
+			for to, m := range s.insts {
+				if to == f.from || s.dropTo[to] {
+					continue
+				}
+				kind, err := wire.PeekKind(f.payload)
+				if err != nil {
+					continue
+				}
+				switch kind {
+				case wire.KindMembership:
+					m.HandleMessage(f.payload)
+				case wire.KindFlush:
+					m.HandleFlush(f.payload)
+				case wire.KindRegular:
+					s.bridges[to].HandleRegular(f.payload)
+				}
+			}
+		}
+	}
+}
+
+// run steps until every live instance has installed want installs or the
+// step budget is exhausted.
+func (s *memberSim) run(steps int, want int, live []ids.ProcessorID) {
+	for i := 0; i < steps; i++ {
+		s.step(2 * time.Millisecond)
+		done := true
+		for _, p := range live {
+			if len(s.installs[p]) < want {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+	}
+}
+
+func TestCrashExclusion(t *testing.T) {
+	members := []ids.ProcessorID{1, 2, 3, 4}
+	sim := newMemberSim(t, members, sec.LevelSignatures)
+	// P4 crashed: everyone's detector suspects it; its instance is mute.
+	sim.dropTo[4] = true
+	for _, p := range []ids.ProcessorID{1, 2, 3} {
+		sim.sources[p].suspects[4] = true
+	}
+	live := []ids.ProcessorID{1, 2, 3}
+	sim.run(200, 1, live)
+
+	for _, p := range live {
+		ins := sim.installs[p]
+		if len(ins) == 0 {
+			t.Fatalf("P%d installed nothing", p)
+		}
+		got := ins[0]
+		if got.ID != 2 || got.Ring != 2 {
+			t.Fatalf("P%d installed %+v, want ID 2 ring 2", p, got)
+		}
+		if !wire.SameMembers(got.Members, []ids.ProcessorID{1, 2, 3}) {
+			t.Fatalf("P%d installed members %v", p, got.Members)
+		}
+	}
+}
+
+func TestUniquenessAndTotalOrder(t *testing.T) {
+	members := []ids.ProcessorID{1, 2, 3, 4}
+	sim := newMemberSim(t, members, sec.LevelNone)
+	sim.dropTo[4] = true
+	for _, p := range []ids.ProcessorID{1, 2, 3} {
+		sim.sources[p].suspects[4] = true
+	}
+	live := []ids.ProcessorID{1, 2, 3}
+	sim.run(200, 1, live)
+
+	// Table 4 Uniqueness + Total Order: identical install sequences.
+	ref := sim.installs[1]
+	for _, p := range live {
+		ins := sim.installs[p]
+		if len(ins) != len(ref) {
+			t.Fatalf("P%d installed %d times, P1 %d times", p, len(ins), len(ref))
+		}
+		for i := range ins {
+			if ins[i].ID != ref[i].ID || !wire.SameMembers(ins[i].Members, ref[i].Members) {
+				t.Fatalf("P%d install %d = %+v, P1 has %+v", p, i, ins[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSelfInclusion(t *testing.T) {
+	members := []ids.ProcessorID{1, 2, 3}
+	sim := newMemberSim(t, members, sec.LevelNone)
+	sim.dropTo[3] = true
+	for _, p := range []ids.ProcessorID{1, 2} {
+		sim.sources[p].suspects[3] = true
+	}
+	sim.run(200, 1, []ids.ProcessorID{1, 2})
+	for _, p := range []ids.ProcessorID{1, 2} {
+		in := sim.installs[p][0]
+		found := false
+		for _, q := range in.Members {
+			if q == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("P%d installed membership %v without itself", p, in.Members)
+		}
+	}
+}
+
+func TestCorroboratedSuspicionAdopted(t *testing.T) {
+	members := []ids.ProcessorID{1, 2, 3, 4}
+	sim := newMemberSim(t, members, sec.LevelSignatures)
+	// Only P1 and P2 directly observed P4's misbehaviour. Threshold is
+	// floor((4-1)/3)+1 = 2 reporters, so P3 must adopt via gossip.
+	sim.dropTo[4] = true
+	sim.sources[1].suspects[4] = true
+	sim.sources[2].suspects[4] = true
+	live := []ids.ProcessorID{1, 2, 3}
+	sim.run(300, 1, live)
+
+	if len(sim.sources[3].adopted) == 0 {
+		t.Fatal("P3 never adopted the corroborated suspicion")
+	}
+	for _, p := range live {
+		if len(sim.installs[p]) == 0 {
+			t.Fatalf("P%d installed nothing", p)
+		}
+		if !wire.SameMembers(sim.installs[p][0].Members, live) {
+			t.Fatalf("P%d installed %v", p, sim.installs[p][0].Members)
+		}
+	}
+}
+
+func TestSingleReporterCannotFrame(t *testing.T) {
+	members := []ids.ProcessorID{1, 2, 3, 4}
+	sim := newMemberSim(t, members, sec.LevelSignatures)
+	// Byzantine P1 claims P4 is faulty; nobody else corroborates. The
+	// others must not adopt the suspicion (threshold requires 2 distinct
+	// reporters for n=4).
+	sim.sources[1].suspects[4] = true
+	for i := 0; i < 50; i++ {
+		sim.step(2 * time.Millisecond)
+	}
+	for _, p := range []ids.ProcessorID{2, 3, 4} {
+		if sim.sources[p].suspects[4] {
+			t.Fatalf("P%d adopted an uncorroborated suspicion", p)
+		}
+	}
+}
+
+func TestJoinEventualInclusion(t *testing.T) {
+	members := []ids.ProcessorID{1, 2, 3}
+	sim := newMemberSim(t, members, sec.LevelNone)
+
+	// P5 wants in: create its instance with the same view and request.
+	joiner := ids.ProcessorID(5)
+	suite, err := sec.NewSuite(sec.LevelNone, joiner, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newFakeSource()
+	br := &fakeBridge{}
+	jm, err := New(Config{
+		Self:    joiner,
+		Suite:   suite,
+		Trans:   simTransport{sim: sim, self: joiner},
+		Initial: []ids.ProcessorID{joiner},
+		Source:  src,
+		Bridge:  br,
+		Now:     func() time.Time { return sim.clock },
+		OnInstall: func(in Install) {
+			sim.installs[joiner] = append(sim.installs[joiner], in)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.insts[joiner] = jm
+	sim.sources[joiner] = src
+	sim.bridges[joiner] = br
+
+	jm.RequestJoin(Install{ID: 1, Ring: 1, Members: members})
+	sim.run(300, 1, members)
+
+	for _, p := range members {
+		if len(sim.installs[p]) == 0 {
+			t.Fatalf("P%d never installed", p)
+		}
+		in := sim.installs[p][len(sim.installs[p])-1]
+		if !wire.SameMembers(in.Members, []ids.ProcessorID{1, 2, 3, 5}) {
+			t.Fatalf("P%d installed %v, want joiner included", p, in.Members)
+		}
+	}
+}
+
+func TestFlushBarrierCatchesUpLaggard(t *testing.T) {
+	members := []ids.ProcessorID{1, 2, 3, 4}
+	sim := newMemberSim(t, members, sec.LevelSignatures)
+	// P3 delivered only up to 5; others up to 9 with digest vouchers.
+	for _, p := range []ids.ProcessorID{1, 2} {
+		sim.bridges[p].delivered = 9
+		for s := uint64(1); s <= 9; s++ {
+			sim.bridges[p].digests = append(sim.bridges[p].digests,
+				wire.DigestEntry{Seq: s, Digest: sec.Digest([]byte{byte(s)})})
+		}
+	}
+	sim.bridges[3].delivered = 5
+	// Trigger a change (exclude crashed P4).
+	sim.dropTo[4] = true
+	for _, p := range []ids.ProcessorID{1, 2, 3} {
+		sim.sources[p].suspects[4] = true
+	}
+	sim.run(300, 1, []ids.ProcessorID{1, 2, 3})
+
+	if len(sim.bridges[3].adopted) == 0 {
+		t.Fatal("laggard received no flush digests")
+	}
+	if sim.bridges[3].delivered < 9 {
+		t.Fatalf("laggard delivered %d after flush, want 9", sim.bridges[3].delivered)
+	}
+}
+
+func TestUnresponsiveReported(t *testing.T) {
+	members := []ids.ProcessorID{1, 2, 3}
+	sim := newMemberSim(t, members, sec.LevelNone)
+	// P1 suspects nobody initially but wants to include joiner-free
+	// change; instead trigger change by suspecting P3, and make P2 mute:
+	// P2 must be reported unresponsive and excluded eventually.
+	sim.dropTo[2] = true
+	sim.dropTo[3] = true
+	sim.sources[1].suspects[3] = true
+	sim.run(400, 1, []ids.ProcessorID{1})
+
+	if len(sim.installs[1]) == 0 {
+		t.Fatal("P1 never installed")
+	}
+	final := sim.installs[1][len(sim.installs[1])-1]
+	if !wire.SameMembers(final.Members, []ids.ProcessorID{1}) {
+		t.Fatalf("P1 final membership %v, want {1}", final.Members)
+	}
+	if len(sim.sources[1].unresponsive) == 0 {
+		t.Fatal("mute member never reported unresponsive")
+	}
+}
+
+func TestQuorateAndMinCorrect(t *testing.T) {
+	cases := []struct {
+		n, faulty int
+		ok        bool
+	}{
+		{4, 1, true}, {4, 2, false}, {6, 1, true}, {7, 2, true},
+		{7, 3, false}, {10, 3, true}, {10, 4, false}, {1, 0, true},
+		{3, 0, true}, {3, 1, false},
+	}
+	for _, c := range cases {
+		if got := Quorate(c.n, c.faulty); got != c.ok {
+			t.Errorf("Quorate(%d,%d) = %v, want %v", c.n, c.faulty, got, c.ok)
+		}
+	}
+	// MinCorrect = ceil((2n+1)/3).
+	for n, want := range map[int]int{1: 1, 3: 3, 4: 3, 6: 5, 7: 5, 10: 7} {
+		if got := MinCorrect(n); got != want {
+			t.Errorf("MinCorrect(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	suite, _ := sec.NewSuite(sec.LevelNone, 1, nil, nil)
+	good := Config{
+		Self: 1, Suite: suite, Trans: simTransport{},
+		Initial: []ids.ProcessorID{1, 2}, Source: newFakeSource(),
+		Bridge: &fakeBridge{}, OnInstall: func(Install) {},
+	}
+	if _, err := New(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Initial = nil },
+		func(c *Config) { c.OnInstall = nil },
+		func(c *Config) { c.Trans = nil },
+		func(c *Config) { c.Source = nil },
+		func(c *Config) { c.Bridge = nil },
+		func(c *Config) { c.Suite = nil },
+		func(c *Config) { c.Self = 9 },
+	}
+	for i, mutate := range bad {
+		cfg := good
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestForgedMembershipRejected(t *testing.T) {
+	members := []ids.ProcessorID{1, 2, 3}
+	sim := newMemberSim(t, members, sec.LevelSignatures)
+	// Hand-craft an unsigned proposal claiming to be from P2 proposing to
+	// exclude P3; P1 must ignore it entirely.
+	forged := &wire.Membership{
+		Sender: 2, Kind: wire.MembershipPropose, Attempt: 1,
+		InstallID: 2, NewRing: 2,
+		Members:  []ids.ProcessorID{1, 2},
+		Suspects: []ids.ProcessorID{3},
+	}
+	sim.insts[1].HandleMessage(forged.Marshal())
+	if sim.insts[1].Forming() {
+		t.Fatal("forged proposal opened a membership change")
+	}
+	if sim.sources[1].suspects[3] {
+		t.Fatal("forged proposal planted a suspicion")
+	}
+}
+
+func TestStaleInstallIgnored(t *testing.T) {
+	members := []ids.ProcessorID{1, 2, 3}
+	sim := newMemberSim(t, members, sec.LevelNone)
+	stale := &wire.Membership{
+		Sender: 2, Kind: wire.MembershipPropose, Attempt: 1,
+		InstallID: 1, // current install, not next
+		NewRing:   1,
+		Members:   []ids.ProcessorID{1, 2},
+	}
+	sim.insts[1].HandleMessage(stale.Marshal())
+	if sim.insts[1].Forming() {
+		t.Fatal("stale-install proposal accepted")
+	}
+}

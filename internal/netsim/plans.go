@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+
+	"immune/internal/ids"
+)
+
+// PlanFunc adapts a function to the FaultPlan interface.
+type PlanFunc func(f Frame, receiver ids.ProcessorID) (Verdict, time.Duration)
+
+var _ FaultPlan = PlanFunc(nil)
+
+// Judge implements FaultPlan.
+func (fn PlanFunc) Judge(f Frame, receiver ids.ProcessorID) (Verdict, time.Duration) {
+	return fn(f, receiver)
+}
+
+// Chain composes fault plans: the first plan returning a verdict other than
+// Deliver decides; extra delays accumulate across Deliver verdicts.
+func Chain(plans ...FaultPlan) FaultPlan {
+	return PlanFunc(func(f Frame, r ids.ProcessorID) (Verdict, time.Duration) {
+		var total time.Duration
+		for _, p := range plans {
+			v, d := p.Judge(f, r)
+			total += d
+			if v != Deliver {
+				return v, total
+			}
+		}
+		return Deliver, total
+	})
+}
+
+// Probabilistic is a seeded random fault plan modeling an unreliable LAN:
+// independent per-(frame, receiver) loss, corruption, and duplication, plus
+// a uniformly distributed extra delay. Probabilities are in [0, 1] and are
+// evaluated in the order loss, corruption, duplication.
+type Probabilistic struct {
+	LossProb    float64
+	CorruptProb float64
+	DupProb     float64
+	MaxDelay    time.Duration
+	rng         *splitmix
+}
+
+var _ FaultPlan = (*Probabilistic)(nil)
+
+// NewProbabilistic creates a seeded probabilistic plan.
+func NewProbabilistic(seed uint64, loss, corrupt, dup float64, maxDelay time.Duration) *Probabilistic {
+	return &Probabilistic{
+		LossProb:    loss,
+		CorruptProb: corrupt,
+		DupProb:     dup,
+		MaxDelay:    maxDelay,
+		rng:         newSplitmix(seed),
+	}
+}
+
+// Judge implements FaultPlan.
+func (p *Probabilistic) Judge(Frame, ids.ProcessorID) (Verdict, time.Duration) {
+	var delay time.Duration
+	if p.MaxDelay > 0 {
+		delay = time.Duration(p.rng.uint64n(uint64(p.MaxDelay)))
+	}
+	roll := p.roll()
+	switch {
+	case roll < p.LossProb:
+		return Drop, delay
+	case roll < p.LossProb+p.CorruptProb:
+		return Corrupt, delay
+	case roll < p.LossProb+p.CorruptProb+p.DupProb:
+		return Duplicate, delay
+	default:
+		return Deliver, delay
+	}
+}
+
+// roll returns a uniform float64 in [0, 1).
+func (p *Probabilistic) roll() float64 {
+	return float64(p.rng.next()>>11) / float64(1<<53)
+}
+
+// ReceiveOmission drops every frame destined for the victim processor,
+// modeling Table 1's "failure to receive message" processor fault. Unicast
+// and multicast copies addressed to the victim are both lost; other
+// receivers of a multicast are unaffected.
+func ReceiveOmission(victim ids.ProcessorID) FaultPlan {
+	return PlanFunc(func(_ Frame, r ids.ProcessorID) (Verdict, time.Duration) {
+		if r == victim {
+			return Drop, 0
+		}
+		return Deliver, 0
+	})
+}
+
+// SendOmission drops every frame originated by the victim processor,
+// modeling a replica/processor that silently fails to send (Table 1:
+// send omission).
+func SendOmission(victim ids.ProcessorID) FaultPlan {
+	return PlanFunc(func(f Frame, _ ids.ProcessorID) (Verdict, time.Duration) {
+		if f.From == victim {
+			return Drop, 0
+		}
+		return Deliver, 0
+	})
+}
+
+// LoseFirstN drops the first n frames judged, then delivers everything.
+// Deterministic loss for retransmission tests.
+func LoseFirstN(n int) FaultPlan {
+	var mu sync.Mutex
+	remaining := n
+	return PlanFunc(func(Frame, ids.ProcessorID) (Verdict, time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		if remaining > 0 {
+			remaining--
+			return Drop, 0
+		}
+		return Deliver, 0
+	})
+}

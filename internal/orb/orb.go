@@ -1,0 +1,305 @@
+// Package orb emulates the commercial CORBA Object Request Broker that the
+// Immune system runs over (paper §2; the prototype used VisiBroker 3.2).
+// It provides the pieces the paper's architecture depends on:
+//
+//   - servants registered under object keys (the skeleton side),
+//   - object references whose stubs marshal invocations into genuine IIOP
+//     Request messages and unmarshal IIOP Replies,
+//   - a pluggable Transport so the bytes "intended for TCP/IP" can be
+//     diverted: the loopback transport models the unreplicated baseline
+//     (Figure 7 case 1), and the Immune interceptor substitutes itself
+//     without any change to application objects or the ORB — exactly the
+//     transparency claim of the paper.
+//
+// Determinism contract: servants must be deterministic (paper §3) — same
+// initial state and same ordered invocations yield the same state and the
+// same replies. Servants additionally expose state snapshot/restore, which
+// the Immune system uses to reallocate replicas lost to faulty processors
+// (§3.1).
+package orb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"immune/internal/iiop"
+)
+
+// Servant is a CORBA object implementation (the application-visible
+// contract). Implementations must be deterministic.
+type Servant interface {
+	// Invoke executes an operation with CDR-encoded arguments and
+	// returns the CDR-encoded result. A returned error becomes a CORBA
+	// user exception on the wire.
+	Invoke(op string, args []byte) ([]byte, error)
+	// Snapshot serializes the servant's full state.
+	Snapshot() []byte
+	// Restore replaces the servant's state from a snapshot.
+	Restore(snapshot []byte) error
+}
+
+// Transport conveys marshaled IIOP messages toward their destination.
+// Implementations: Loopback (direct dispatch, the no-Immune baseline) and
+// the Immune interceptor (diversion into the Replication Manager).
+type Transport interface {
+	// Submit sends a marshaled IIOP Request. For two-way requests the
+	// returned channel yields exactly one marshaled IIOP Reply; for
+	// one-way requests the channel is nil.
+	Submit(request []byte, oneway bool) (<-chan []byte, error)
+}
+
+// Adapter is the object adapter: the server-side registry of servants
+// (skeletons) keyed by object key.
+type Adapter struct {
+	mu       sync.RWMutex
+	servants map[string]Servant
+}
+
+// NewAdapter returns an empty object adapter.
+func NewAdapter() *Adapter {
+	return &Adapter{servants: make(map[string]Servant)}
+}
+
+// Register binds a servant to an object key. Rebinding an existing key is
+// an error.
+func (a *Adapter) Register(key string, s Servant) error {
+	if s == nil {
+		return fmt.Errorf("orb: nil servant for key %q", key)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.servants[key]; ok {
+		return fmt.Errorf("orb: object key %q already bound", key)
+	}
+	a.servants[key] = s
+	return nil
+}
+
+// Unregister removes a binding.
+func (a *Adapter) Unregister(key string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.servants, key)
+}
+
+// Lookup returns the servant bound to key.
+func (a *Adapter) Lookup(key string) (Servant, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	s, ok := a.servants[key]
+	return s, ok
+}
+
+// Keys returns the bound object keys.
+func (a *Adapter) Keys() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.servants))
+	for k := range a.servants {
+		out = append(out, k)
+	}
+	return out
+}
+
+// HandleRequest is the skeleton path: it parses a marshaled IIOP Request,
+// dispatches it to the target servant, and returns the marshaled IIOP
+// Reply. For one-way requests it returns (nil, nil) after dispatch. Parse
+// failures return an error (the caller decides whether to drop or report);
+// application-level failures become USER_EXCEPTION replies.
+func (a *Adapter) HandleRequest(raw []byte) ([]byte, error) {
+	msg, err := iiop.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("orb: parse request: %w", err)
+	}
+	if msg.Request == nil {
+		return nil, fmt.Errorf("orb: expected a Request message")
+	}
+	req := msg.Request
+
+	servant, ok := a.Lookup(string(req.ObjectKey))
+	if !ok {
+		if !req.ResponseExpected {
+			return nil, nil
+		}
+		rep := &iiop.Reply{RequestID: req.RequestID, Status: iiop.ReplySystemException,
+			Body: encodeException("OBJECT_NOT_EXIST")}
+		return rep.Marshal(), nil
+	}
+
+	result, invokeErr := servant.Invoke(req.Operation, req.Body)
+	if !req.ResponseExpected {
+		return nil, nil
+	}
+	rep := &iiop.Reply{RequestID: req.RequestID}
+	if invokeErr != nil {
+		rep.Status = iiop.ReplyUserException
+		rep.Body = encodeException(invokeErr.Error())
+	} else {
+		rep.Status = iiop.ReplyNoException
+		rep.Body = result
+	}
+	return rep.Marshal(), nil
+}
+
+// encodeException CDR-encodes an exception repository string.
+func encodeException(msg string) []byte {
+	e := iiop.NewEncoder()
+	e.WriteString(msg)
+	return e.Bytes()
+}
+
+// DecodeException extracts the exception string from a non-NO_EXCEPTION
+// reply body.
+func DecodeException(body []byte) string {
+	s, err := iiop.NewDecoder(body).ReadString()
+	if err != nil {
+		return "malformed exception body"
+	}
+	return s
+}
+
+// ORB is one process's Object Request Broker instance: an object adapter
+// plus a client-side transport.
+type ORB struct {
+	adapter *Adapter
+	trans   Transport
+
+	mu     sync.Mutex
+	nextID uint32
+
+	// CallTimeout bounds two-way invocations.
+	CallTimeout time.Duration
+}
+
+// New creates an ORB over the given transport.
+func New(trans Transport) *ORB {
+	return &ORB{
+		adapter:     NewAdapter(),
+		trans:       trans,
+		CallTimeout: 10 * time.Second,
+	}
+}
+
+// Adapter returns the ORB's object adapter.
+func (o *ORB) Adapter() *Adapter { return o.adapter }
+
+// SetTransport swaps the client-side transport. This is the interception
+// seam (paper §2): the Immune system installs its diverting transport here
+// without modifying the ORB's dispatch machinery or the application.
+func (o *ORB) SetTransport(t Transport) { o.trans = t }
+
+// ObjRef returns an object reference (the stub) for an object key.
+func (o *ORB) ObjRef(key string) *ObjRef {
+	return &ObjRef{orb: o, key: key}
+}
+
+// nextRequestID allocates a request id.
+func (o *ORB) nextRequestID() uint32 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.nextID++
+	return o.nextID
+}
+
+// InvocationError is returned when a two-way invocation yields a CORBA
+// exception.
+type InvocationError struct {
+	Status  iiop.ReplyStatus
+	Message string
+}
+
+// Error implements the error interface.
+func (e *InvocationError) Error() string {
+	return fmt.Sprintf("corba %s: %s", e.Status, e.Message)
+}
+
+// ObjRef is a client-side object reference. Its methods are the stub: they
+// marshal invocations into IIOP Requests, hand them to the transport, and
+// unmarshal Replies.
+type ObjRef struct {
+	orb *ORB
+	key string
+}
+
+// Key returns the referenced object key.
+func (r *ObjRef) Key() string { return r.key }
+
+// Invoke performs a two-way invocation and returns the CDR-encoded result.
+func (r *ObjRef) Invoke(op string, args []byte) ([]byte, error) {
+	req := &iiop.Request{
+		RequestID:        r.orb.nextRequestID(),
+		ResponseExpected: true,
+		ObjectKey:        []byte(r.key),
+		Operation:        op,
+		Body:             args,
+	}
+	ch, err := r.orb.trans.Submit(req.Marshal(), false)
+	if err != nil {
+		return nil, fmt.Errorf("orb: submit %q: %w", op, err)
+	}
+	var rawReply []byte
+	select {
+	case rawReply = <-ch:
+	case <-time.After(r.orb.CallTimeout):
+		return nil, fmt.Errorf("orb: invocation %q on %q timed out", op, r.key)
+	}
+	msg, err := iiop.Parse(rawReply)
+	if err != nil {
+		return nil, fmt.Errorf("orb: parse reply: %w", err)
+	}
+	if msg.Reply == nil {
+		return nil, fmt.Errorf("orb: expected a Reply message")
+	}
+	if msg.Reply.Status != iiop.ReplyNoException {
+		return nil, &InvocationError{
+			Status:  msg.Reply.Status,
+			Message: DecodeException(msg.Reply.Body),
+		}
+	}
+	return msg.Reply.Body, nil
+}
+
+// InvokeOneWay performs a CORBA one-way invocation (no reply, fire and
+// forget — the packet driver workload of §8).
+func (r *ObjRef) InvokeOneWay(op string, args []byte) error {
+	req := &iiop.Request{
+		RequestID:        r.orb.nextRequestID(),
+		ResponseExpected: false,
+		ObjectKey:        []byte(r.key),
+		Operation:        op,
+		Body:             args,
+	}
+	if _, err := r.orb.trans.Submit(req.Marshal(), true); err != nil {
+		return fmt.Errorf("orb: submit one-way %q: %w", op, err)
+	}
+	return nil
+}
+
+// Loopback is the baseline transport: requests go straight to a local
+// adapter, as in an unreplicated single-process deployment without the
+// Immune system (Figure 7 case 1).
+type Loopback struct {
+	adapter *Adapter
+}
+
+var _ Transport = (*Loopback)(nil)
+
+// NewLoopback builds a loopback transport dispatching into adapter.
+func NewLoopback(adapter *Adapter) *Loopback {
+	return &Loopback{adapter: adapter}
+}
+
+// Submit implements Transport.
+func (l *Loopback) Submit(request []byte, oneway bool) (<-chan []byte, error) {
+	reply, err := l.adapter.HandleRequest(request)
+	if err != nil {
+		return nil, err
+	}
+	if oneway {
+		return nil, nil
+	}
+	ch := make(chan []byte, 1)
+	ch <- reply
+	return ch, nil
+}

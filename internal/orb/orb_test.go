@@ -1,0 +1,327 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"immune/internal/iiop"
+)
+
+// counterServant is a deterministic servant with snapshot support.
+type counterServant struct {
+	mu    sync.Mutex
+	value int64
+}
+
+var _ Servant = (*counterServant)(nil)
+
+func (c *counterServant) Invoke(op string, args []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch op {
+	case "add":
+		d := iiop.NewDecoder(args)
+		delta, err := d.ReadLongLong()
+		if err != nil {
+			return nil, err
+		}
+		c.value += delta
+		e := iiop.NewEncoder()
+		e.WriteLongLong(c.value)
+		return e.Bytes(), nil
+	case "get":
+		e := iiop.NewEncoder()
+		e.WriteLongLong(c.value)
+		return e.Bytes(), nil
+	case "fail":
+		return nil, errors.New("requested failure")
+	default:
+		return nil, fmt.Errorf("unknown operation %q", op)
+	}
+}
+
+func (c *counterServant) Snapshot() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := iiop.NewEncoder()
+	e.WriteLongLong(c.value)
+	return e.Bytes()
+}
+
+func (c *counterServant) Restore(snap []byte) error {
+	v, err := iiop.NewDecoder(snap).ReadLongLong()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.value = v
+	return nil
+}
+
+func encodeDelta(d int64) []byte {
+	e := iiop.NewEncoder()
+	e.WriteLongLong(d)
+	return e.Bytes()
+}
+
+func decodeValue(t *testing.T, b []byte) int64 {
+	t.Helper()
+	v, err := iiop.NewDecoder(b).ReadLongLong()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func newLoopbackORB(t *testing.T) (*ORB, *counterServant) {
+	t.Helper()
+	adapter := NewAdapter()
+	servant := &counterServant{}
+	if err := adapter.Register("counter", servant); err != nil {
+		t.Fatal(err)
+	}
+	return New(NewLoopback(adapter)), servant
+}
+
+func TestLoopbackInvoke(t *testing.T) {
+	o, _ := newLoopbackORB(t)
+	ref := o.ObjRef("counter")
+	out, err := ref.Invoke("add", encodeDelta(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := decodeValue(t, out); v != 5 {
+		t.Fatalf("add returned %d", v)
+	}
+	out, err = ref.Invoke("add", encodeDelta(-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := decodeValue(t, out); v != 3 {
+		t.Fatalf("second add returned %d", v)
+	}
+}
+
+func TestUserExceptionPropagates(t *testing.T) {
+	o, _ := newLoopbackORB(t)
+	_, err := o.ObjRef("counter").Invoke("fail", nil)
+	var invErr *InvocationError
+	if !errors.As(err, &invErr) {
+		t.Fatalf("got %v, want InvocationError", err)
+	}
+	if invErr.Status != iiop.ReplyUserException || invErr.Message != "requested failure" {
+		t.Fatalf("exception = %+v", invErr)
+	}
+}
+
+func TestUnknownObjectIsSystemException(t *testing.T) {
+	o, _ := newLoopbackORB(t)
+	_, err := o.ObjRef("nonexistent").Invoke("get", nil)
+	var invErr *InvocationError
+	if !errors.As(err, &invErr) {
+		t.Fatalf("got %v", err)
+	}
+	if invErr.Status != iiop.ReplySystemException {
+		t.Fatalf("status = %v", invErr.Status)
+	}
+}
+
+func TestOneWayInvocation(t *testing.T) {
+	o, servant := newLoopbackORB(t)
+	if err := o.ObjRef("counter").InvokeOneWay("add", encodeDelta(7)); err != nil {
+		t.Fatal(err)
+	}
+	if servant.value != 7 {
+		t.Fatalf("one-way did not execute: value = %d", servant.value)
+	}
+	// One-way to a missing object is silently dropped, as in CORBA.
+	if err := o.ObjRef("ghost").InvokeOneWay("add", encodeDelta(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdapterRegistration(t *testing.T) {
+	a := NewAdapter()
+	s := &counterServant{}
+	if err := a.Register("k", s); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Register("k", s); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := a.Register("nil", nil); err == nil {
+		t.Fatal("nil servant accepted")
+	}
+	if got, ok := a.Lookup("k"); !ok || got != s {
+		t.Fatal("lookup failed")
+	}
+	if keys := a.Keys(); len(keys) != 1 || keys[0] != "k" {
+		t.Fatalf("keys = %v", keys)
+	}
+	a.Unregister("k")
+	if _, ok := a.Lookup("k"); ok {
+		t.Fatal("unregister failed")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	a := &counterServant{value: 42}
+	b := &counterServant{}
+	if err := b.Restore(a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.value != 42 {
+		t.Fatalf("restored value = %d", b.value)
+	}
+	if err := b.Restore([]byte{1}); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestAdapterHandleRequestGarbage(t *testing.T) {
+	a := NewAdapter()
+	if _, err := a.HandleRequest([]byte("not iiop")); err == nil {
+		t.Fatal("garbage request accepted")
+	}
+	// A Reply fed to the adapter is not a Request.
+	rep := (&iiop.Reply{RequestID: 1}).Marshal()
+	if _, err := a.HandleRequest(rep); err == nil {
+		t.Fatal("reply accepted as request")
+	}
+}
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	adapter := NewAdapter()
+	if err := adapter.Register("counter", &counterServant{}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewTCPServer("127.0.0.1:0", adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	trans, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trans.Close()
+
+	o := New(trans)
+	ref := o.ObjRef("counter")
+	for i := 1; i <= 10; i++ {
+		out, err := ref.Invoke("add", encodeDelta(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := decodeValue(t, out); v != int64(i) {
+			t.Fatalf("iteration %d: value %d", i, v)
+		}
+	}
+	// One-way over TCP.
+	if err := ref.InvokeOneWay("add", encodeDelta(100)); err != nil {
+		t.Fatal(err)
+	}
+	// A subsequent two-way observes the one-way's effect (same
+	// connection: ordered).
+	out, err := ref.Invoke("get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := decodeValue(t, out); v != 110 {
+		t.Fatalf("after one-way: value %d, want 110", v)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	adapter := NewAdapter()
+	if err := adapter.Register("counter", &counterServant{}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewTCPServer("127.0.0.1:0", adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 4
+	const perClient = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			trans, err := DialTCP(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer trans.Close()
+			ref := New(trans).ObjRef("counter")
+			for i := 0; i < perClient; i++ {
+				if _, err := ref.Invoke("add", encodeDelta(1)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	trans, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trans.Close()
+	out, err := New(trans).ObjRef("counter").Invoke("get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := decodeValue(t, out); v != clients*perClient {
+		t.Fatalf("total = %d, want %d", v, clients*perClient)
+	}
+}
+
+func TestSetTransportSeam(t *testing.T) {
+	// The interception seam: swapping the transport must not change the
+	// application-visible behavior.
+	adapter := NewAdapter()
+	if err := adapter.Register("counter", &counterServant{}); err != nil {
+		t.Fatal(err)
+	}
+	o := New(NewLoopback(adapter))
+	if _, err := o.ObjRef("counter").Invoke("add", encodeDelta(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A recording transport wrapping the loopback.
+	var recorded int
+	o.SetTransport(transportFunc(func(req []byte, oneway bool) (<-chan []byte, error) {
+		recorded++
+		return NewLoopback(adapter).Submit(req, oneway)
+	}))
+	out, err := o.ObjRef("counter").Invoke("get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := decodeValue(t, out); v != 1 {
+		t.Fatalf("value through swapped transport = %d", v)
+	}
+	if recorded != 1 {
+		t.Fatalf("recorded %d submissions", recorded)
+	}
+}
+
+type transportFunc func([]byte, bool) (<-chan []byte, error)
+
+func (f transportFunc) Submit(req []byte, oneway bool) (<-chan []byte, error) {
+	return f(req, oneway)
+}

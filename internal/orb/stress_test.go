@@ -1,0 +1,110 @@
+package orb
+
+import (
+	"sync"
+	"testing"
+
+	"immune/internal/iiop"
+)
+
+// TestTCPInterleavedRequestIDs drives many concurrent two-way invocations
+// through ONE TCP transport; the reply demultiplexer must match every
+// reply to its request id.
+func TestTCPInterleavedRequestIDs(t *testing.T) {
+	adapter := NewAdapter()
+	if err := adapter.Register("echo", echoKeyServant{}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewTCPServer("127.0.0.1:0", adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	trans, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trans.Close()
+	o := New(trans)
+	ref := o.ObjRef("echo")
+
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				e := iiop.NewEncoder()
+				e.WriteULong(uint32(w*1000 + i))
+				out, err := ref.Invoke("echo", e.Bytes())
+				if err != nil {
+					errs <- err
+					return
+				}
+				v, err := iiop.NewDecoder(out).ReadULong()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v != uint32(w*1000+i) {
+					t.Errorf("worker %d iteration %d got %d: replies cross-matched", w, i, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// echoKeyServant echoes its arguments verbatim.
+type echoKeyServant struct{}
+
+func (echoKeyServant) Invoke(op string, args []byte) ([]byte, error) {
+	return append([]byte(nil), args...), nil
+}
+func (echoKeyServant) Snapshot() []byte       { return nil }
+func (echoKeyServant) Restore(s []byte) error { return nil }
+
+// TestTCPServerSurvivesBadClient: garbage on the wire must not crash the
+// server or affect other connections.
+func TestTCPServerSurvivesBadClient(t *testing.T) {
+	adapter := NewAdapter()
+	if err := adapter.Register("echo", echoKeyServant{}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewTCPServer("127.0.0.1:0", adapter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A raw connection writes garbage and disconnects.
+	bad, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.conn.Write([]byte("GARBAGE GARBAGE GARBAGE"))
+	bad.Close()
+
+	// A well-behaved client still works.
+	good, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	out, err := New(good).ObjRef("echo").Invoke("echo", []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("reply %v", out)
+	}
+}

@@ -1,0 +1,206 @@
+package orb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"immune/internal/iiop"
+)
+
+// TCP transport: genuine IIOP over TCP, used by the unreplicated baseline
+// so that Figure 7 case 1 includes a real socket path as the paper's
+// VisiBroker deployment did. GIOP messages are self-framing (the header
+// carries the body size), so the stream needs no extra envelope.
+
+// readMessage reads one complete GIOP message from the stream.
+func readMessage(r io.Reader) ([]byte, error) {
+	header := make([]byte, iiop.HeaderSize)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(header[8:12])
+	const maxBody = 1 << 24
+	if size > maxBody {
+		return nil, fmt.Errorf("orb: GIOP body of %d bytes exceeds limit", size)
+	}
+	msg := make([]byte, iiop.HeaderSize+int(size))
+	copy(msg, header)
+	if _, err := io.ReadFull(r, msg[iiop.HeaderSize:]); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// TCPServer accepts IIOP connections and dispatches requests to an
+// adapter.
+type TCPServer struct {
+	adapter  *Adapter
+	listener net.Listener
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewTCPServer starts an IIOP server on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func NewTCPServer(addr string, adapter *Adapter) (*TCPServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("orb: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{adapter: adapter, listener: l}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the server and waits for connection handlers to finish.
+func (s *TCPServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.listener.Close()
+	s.wg.Wait()
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *TCPServer) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	for {
+		raw, err := readMessage(conn)
+		if err != nil {
+			return // peer closed or framing broken
+		}
+		reply, err := s.adapter.HandleRequest(raw)
+		if err != nil {
+			return
+		}
+		if reply == nil {
+			continue // one-way
+		}
+		if _, err := conn.Write(reply); err != nil {
+			return
+		}
+	}
+}
+
+// TCPTransport is a client transport speaking IIOP over one TCP
+// connection. Requests are serialized on the connection; replies are
+// matched to requests by GIOP request id.
+type TCPTransport struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	pending map[uint32]chan []byte
+	readErr error
+	done    chan struct{}
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// DialTCP connects to an IIOP server.
+func DialTCP(addr string) (*TCPTransport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("orb: dial %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		conn:    conn,
+		pending: make(map[uint32]chan []byte),
+		done:    make(chan struct{}),
+	}
+	go t.readLoop()
+	return t, nil
+}
+
+// Close tears the connection down; in-flight invocations fail.
+func (t *TCPTransport) Close() {
+	t.conn.Close()
+	<-t.done
+}
+
+func (t *TCPTransport) readLoop() {
+	defer close(t.done)
+	for {
+		raw, err := readMessage(t.conn)
+		if err != nil {
+			t.mu.Lock()
+			t.readErr = err
+			for id, ch := range t.pending {
+				close(ch)
+				delete(t.pending, id)
+			}
+			t.mu.Unlock()
+			return
+		}
+		msg, err := iiop.Parse(raw)
+		if err != nil || msg.Reply == nil {
+			continue
+		}
+		t.mu.Lock()
+		ch, ok := t.pending[msg.Reply.RequestID]
+		if ok {
+			delete(t.pending, msg.Reply.RequestID)
+		}
+		t.mu.Unlock()
+		if ok {
+			ch <- raw
+		}
+	}
+}
+
+// Submit implements Transport.
+func (t *TCPTransport) Submit(request []byte, oneway bool) (<-chan []byte, error) {
+	msg, err := iiop.Parse(request)
+	if err != nil || msg.Request == nil {
+		return nil, fmt.Errorf("orb: submit expects an IIOP Request: %v", err)
+	}
+	var ch chan []byte
+	if !oneway {
+		ch = make(chan []byte, 1)
+		t.mu.Lock()
+		if t.readErr != nil {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("orb: connection broken: %w", t.readErr)
+		}
+		t.pending[msg.Request.RequestID] = ch
+		t.mu.Unlock()
+	}
+	t.mu.Lock()
+	_, err = t.conn.Write(request)
+	t.mu.Unlock()
+	if err != nil {
+		if ch != nil {
+			t.mu.Lock()
+			delete(t.pending, msg.Request.RequestID)
+			t.mu.Unlock()
+		}
+		return nil, fmt.Errorf("orb: write: %w", err)
+	}
+	if oneway {
+		return nil, nil
+	}
+	return ch, nil
+}

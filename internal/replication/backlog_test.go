@@ -1,0 +1,188 @@
+package replication
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"immune/internal/group"
+	"immune/internal/ids"
+	"immune/internal/iiop"
+)
+
+// TestBacklogDuringStateTransfer checks the joining-replica window: an
+// invocation decided between a replica's join and its state-transfer
+// completion must be buffered and replayed after the snapshot is
+// installed, leaving the new replica in lockstep.
+func TestBacklogDuringStateTransfer(t *testing.T) {
+	b := newBus()
+	var managers []*Manager
+	for i := 1; i <= 3; i++ {
+		m, err := NewManager(Config{
+			Stack:      &busStack{b: b, self: ids.ProcessorID(i)},
+			Processors: 3, CallTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.attach(m)
+		managers = append(managers, m)
+	}
+
+	sv1, sv2, sv3 := &echoServant{}, &echoServant{}, &echoServant{}
+	h1, err := managers[0].HostReplica(serverG, "echo-server", sv1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := managers[1].HostReplica(serverG, "echo-server", sv2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := managers[0].HostReplica(clientG, "c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Craft the join-then-invoke-then-state interleaving by hand: the
+	// bus is not started yet, so we enqueue the exact total order.
+	//
+	//   join(s1), join(s2), join(c), state(s1→s2),
+	//   add(5) decided while P3 is mid-join:
+	//   join(s3), add(7), state(s1→s3), state(s2→s3)
+	//
+	// The bus pump delivers everything in this order; P3's replica must
+	// buffer add(7) (decided after its join, before its state) and apply
+	// it after restoring.
+	go b.run()
+	t.Cleanup(b.stop)
+	b.settle(t)
+	for _, h := range []*Handle{h1, h2, client} {
+		if err := h.WaitActive(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	add := func(v int64) []byte {
+		e := iiop.NewEncoder()
+		e.WriteLongLong(v)
+		req := &iiop.Request{RequestID: 1, ResponseExpected: true,
+			ObjectKey: []byte("echo-server"), Operation: "add", Body: e.Bytes()}
+		return req.Marshal()
+	}
+
+	if _, err := client.Invoke(serverG, add(5)); err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+
+	// Now submit P3's join and, immediately after it in the total
+	// order, another invocation — it will be decided while P3 still
+	// awaits state.
+	h3, err := managers[2].HostReplica(serverG, "echo-server", sv3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The join message is already queued. Queue the invocation copy
+	// directly behind it (before any State message can be enqueued by
+	// the join's processing).
+	inv := &group.Message{
+		Kind: group.KindInvocation, Dest: serverG,
+		Op:      ids.OperationID{ClientGroup: clientG, Seq: 2},
+		Sender:  ids.ReplicaID{Group: clientG, Processor: 1},
+		Payload: add(7),
+	}
+	if err := (&busStack{b: b, self: 1}).Submit(inv.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+
+	if err := h3.WaitActive(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+	if sv3.state != 12 {
+		t.Fatalf("joined replica state %d, want 12 (5 from snapshot + 7 from backlog)", sv3.state)
+	}
+	if sv1.state != 12 || sv2.state != 12 {
+		t.Fatalf("replica states diverged: %d %d %d", sv1.state, sv2.state, sv3.state)
+	}
+}
+
+// TestLeaveRemovesLocalReplica checks the voluntary-leave path.
+func TestLeaveRemovesLocalReplica(t *testing.T) {
+	f := newFixture(t, 3)
+	// P3's server replica leaves its group.
+	leave := &group.Message{
+		Kind: group.KindLeave, Dest: ids.BaseGroup,
+		Member: ids.ReplicaID{Group: serverG, Processor: 3},
+		Target: serverG,
+	}
+	if err := (&busStack{b: f.b, self: 3}).Submit(leave.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	f.b.settle(t)
+	for i, m := range f.managers {
+		if m.Directory().Size(serverG) != 2 {
+			t.Fatalf("manager %d sees degree %d after leave", i, m.Directory().Size(serverG))
+		}
+	}
+	// Service continues at degree 2 (majority 2).
+	replies := f.invokeAll("echo", []byte("post-leave"))
+	for i, r := range replies {
+		if body := decodeReplyBody(f.t, r); !bytes.Equal(body, []byte("post-leave")) {
+			t.Fatalf("client %d reply %q", i, body)
+		}
+	}
+}
+
+// TestCorruptStateProviderOutvoted: a Byzantine state provider sends a
+// poisoned snapshot; with two honest providers the joiner restores the
+// honest majority snapshot.
+func TestCorruptStateProviderOutvoted(t *testing.T) {
+	b := newBus()
+	var managers []*Manager
+	for i := 1; i <= 4; i++ {
+		m, err := NewManager(Config{
+			Stack:      &busStack{b: b, self: ids.ProcessorID(i)},
+			Processors: 4, CallTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.attach(m)
+		managers = append(managers, m)
+	}
+	go b.run()
+	t.Cleanup(b.stop)
+
+	// Three honest server replicas with state 9.
+	servants := make([]*echoServant, 3)
+	for i := 0; i < 3; i++ {
+		servants[i] = &echoServant{state: 9}
+		h, err := managers[i].HostReplica(serverG, "echo-server", servants[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.WaitActive(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One turns corrupt BEFORE the join: its snapshot will lie.
+	servants[2].mu.Lock()
+	servants[2].corrupt = false // corruption flag affects Invoke, not Snapshot
+	servants[2].state = 666     // poisoned state => divergent snapshot
+	servants[2].mu.Unlock()
+
+	sv4 := &echoServant{}
+	h4, err := managers[3].HostReplica(serverG, "echo-server", sv4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+	if err := h4.WaitActive(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sv4.state != 9 {
+		t.Fatalf("joiner restored %d; poisoned snapshot won", sv4.state)
+	}
+}

@@ -1,0 +1,699 @@
+// Package replication implements the Immune system's Replication Manager
+// (paper §4–6, Figure 2): active replication of client and server objects
+// over object groups, duplicate detection with invocation and response
+// identifiers, input and output majority voting, value fault detection,
+// and replica state transfer for reallocation after processor exclusion
+// (§3.1).
+//
+// One Manager runs per processor. It receives every secure reliable
+// totally ordered multicast message destined for the groups it hosts,
+// filters by destination group, and passes copies to the voters V_I
+// (invocations) and V_R (responses), which decide delivery to the local
+// replicas.
+package replication
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"immune/internal/group"
+	"immune/internal/ids"
+	"immune/internal/orb"
+	"immune/internal/sec"
+	"immune/internal/voting"
+)
+
+// Multicaster is the Replication Manager's handle on the Secure Multicast
+// Protocols (the object group interface of Figure 2). smp.Stack satisfies
+// it.
+type Multicaster interface {
+	// Submit queues a payload for secure reliable totally ordered
+	// multicast.
+	Submit(payload []byte) error
+	// Self identifies the local processor.
+	Self() ids.ProcessorID
+	// ValueFaultSuspect notifies the local Byzantine fault detector that
+	// the named processor hosts a corrupt replica (§6.2).
+	ValueFaultSuspect(p ids.ProcessorID)
+}
+
+// Stats counts Replication Manager events.
+type Stats struct {
+	InvocationsSent     uint64 // client-role invocations multicast
+	ResponsesSent       uint64 // server-role responses multicast
+	InvocationsDecided  uint64 // voted invocations dispatched to servants
+	ResponsesDecided    uint64 // voted responses delivered to callers
+	DuplicatesDiscarded uint64 // copies suppressed after decisions
+	ValueFaults         uint64 // deviant copies observed locally
+	StateTransfers      uint64 // snapshots installed on joining replicas
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	Stack Multicaster
+	// Processors is the initial processor membership size, used by the
+	// value fault detector's corroboration threshold.
+	Processors int
+	// CallTimeout bounds client-role invocations; 0 means 10s.
+	CallTimeout time.Duration
+}
+
+// Manager is one processor's Replication Manager.
+type Manager struct {
+	stack       Multicaster
+	self        ids.ProcessorID
+	callTimeout time.Duration
+
+	mu        sync.Mutex
+	dir       *group.Directory
+	hosted    map[ids.ObjectGroupID]*replicaState
+	waiters   map[ids.OperationID]chan []byte
+	invVoter  *voting.Voter
+	respVoter *voting.Voter
+	invDest   map[ids.OperationID]ids.ObjectGroupID // pending invocation -> target group
+	vfd       *valueFaultDetector
+	joinSeq   map[ids.ObjectGroupID]uint64 // deterministic join markers
+	members   map[ids.ReplicaID]*memberInfo
+	pending   map[ids.ReplicaID]*stateWait
+	respCache map[ids.OperationID][]byte // decided responses awaiting a local asker
+	respOrder []ids.OperationID          // FIFO for bounding respCache
+	stats     Stats
+}
+
+// respCacheLimit bounds the decided-response cache. A local client replica
+// can lag behind its peers (whose copies alone may decide the vote); the
+// cache bridges that window.
+const respCacheLimit = 8192
+
+// memberInfo is the globally consistent view of one replica's role and
+// activation status. Activation is a deterministic function of the totally
+// ordered history (a replica activates at its join, or when the
+// majority-th matching State snapshot for its join marker is delivered),
+// so every Replication Manager tracks the same values.
+type memberInfo struct {
+	server bool
+	active bool
+}
+
+// stateWait tracks an in-progress state transfer for a joining server
+// replica.
+type stateWait struct {
+	group     ids.ObjectGroupID
+	marker    uint64
+	providers map[ids.ReplicaID]bool
+	need      int
+	got       map[ids.ReplicaID]bool
+	counts    map[[sec.DigestSize]byte]int
+	pays      map[[sec.DigestSize]byte][]byte
+}
+
+// replicaState tracks one locally hosted replica.
+type replicaState struct {
+	id      ids.ReplicaID
+	key     string
+	adapter *orb.Adapter
+	servant orb.Servant
+	active  bool
+
+	// State transfer on join (§3.1 replica reallocation).
+	needState bool
+	backlog   []backlogEntry
+
+	opSeq uint64 // client-role operation counter
+}
+
+type backlogEntry struct {
+	op      ids.OperationID
+	payload []byte
+}
+
+// NewManager creates a Replication Manager bound to a protocol stack.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Stack == nil {
+		return nil, fmt.Errorf("replication: stack required")
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	m := &Manager{
+		stack:       cfg.Stack,
+		self:        cfg.Stack.Self(),
+		callTimeout: cfg.CallTimeout,
+		dir:         group.NewDirectory(),
+		hosted:      make(map[ids.ObjectGroupID]*replicaState),
+		waiters:     make(map[ids.OperationID]chan []byte),
+		invDest:     make(map[ids.OperationID]ids.ObjectGroupID),
+		joinSeq:     make(map[ids.ObjectGroupID]uint64),
+		members:     make(map[ids.ReplicaID]*memberInfo),
+		pending:     make(map[ids.ReplicaID]*stateWait),
+		respCache:   make(map[ids.OperationID][]byte),
+	}
+	m.invVoter = voting.NewVoter(m.dir.Size)
+	m.respVoter = voting.NewVoter(m.dir.Size)
+	m.vfd = newValueFaultDetector(cfg.Processors, func(r ids.ReplicaID) {
+		m.stack.ValueFaultSuspect(r.Processor)
+	})
+	return m, nil
+}
+
+// Directory exposes the object-group membership view (read-only use).
+func (m *Manager) Directory() *group.Directory { return m.dir }
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Handle is the application-side handle on a locally hosted replica.
+type Handle struct {
+	m  *Manager
+	st *replicaState
+}
+
+// HostReplica announces a local replica of an object group. servant may be
+// nil for a client-only object (a pure invoker). key is the CORBA object
+// key the replica's skeleton answers to. The replica activates when its
+// Join message is delivered in total order (and, for non-first replicas,
+// after majority-voted state transfer).
+func (m *Manager) HostReplica(g ids.ObjectGroupID, key string, servant orb.Servant) (*Handle, error) {
+	if g == ids.BaseGroup {
+		return nil, fmt.Errorf("replication: group id %v is reserved", g)
+	}
+	m.mu.Lock()
+	if _, ok := m.hosted[g]; ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("replication: already hosting a replica of %s", g)
+	}
+	st := &replicaState{
+		id:      ids.ReplicaID{Group: g, Processor: m.self},
+		key:     key,
+		adapter: orb.NewAdapter(),
+		servant: servant,
+	}
+	if servant != nil {
+		if err := st.adapter.Register(key, servant); err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+	}
+	m.hosted[g] = st
+	m.mu.Unlock()
+
+	serverFlag := byte(0)
+	if servant != nil {
+		serverFlag = 1
+	}
+	join := &group.Message{
+		Kind:    group.KindJoin,
+		Dest:    ids.BaseGroup,
+		Member:  st.id,
+		Target:  g,
+		Payload: []byte{serverFlag},
+	}
+	if err := m.stack.Submit(join.Marshal()); err != nil {
+		m.mu.Lock()
+		delete(m.hosted, g)
+		m.mu.Unlock()
+		return nil, fmt.Errorf("replication: announce join: %w", err)
+	}
+	return &Handle{m: m, st: st}, nil
+}
+
+// Replica returns the replica's identity.
+func (h *Handle) Replica() ids.ReplicaID { return h.st.id }
+
+// Active reports whether the replica has been admitted to its group (its
+// join delivered and any required state transfer completed).
+func (h *Handle) Active() bool {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	return h.st.active
+}
+
+// WaitActive blocks until the replica activates or the timeout expires.
+func (h *Handle) WaitActive(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if h.Active() {
+			return nil
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return fmt.Errorf("replication: replica %s not active after %v", h.st.id, timeout)
+}
+
+// Leave withdraws the replica from its object group: a Leave message is
+// multicast and, once it reaches its total-order position, every
+// Replication Manager removes the replica from the group membership and
+// this handle deactivates.
+func (h *Handle) Leave() error {
+	leave := &group.Message{
+		Kind:   group.KindLeave,
+		Dest:   ids.BaseGroup,
+		Member: h.st.id,
+		Target: h.st.id.Group,
+	}
+	if err := h.m.stack.Submit(leave.Marshal()); err != nil {
+		return fmt.Errorf("replication: announce leave: %w", err)
+	}
+	return nil
+}
+
+// Invoke performs a replicated two-way invocation: the marshaled IIOP
+// Request is multicast to the target server group, and the call returns
+// the majority-voted marshaled IIOP Reply. Every replica of the client
+// object issues the same invocation; the invocation identifier (client
+// group, operation sequence) is identical across replicas (Figure 3), so
+// the server-side voter recognizes the copies.
+func (h *Handle) Invoke(target ids.ObjectGroupID, iiopRequest []byte) ([]byte, error) {
+	op, ch, err := h.prepare(target, iiopRequest, true)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-time.After(h.m.callTimeout):
+		h.m.mu.Lock()
+		delete(h.m.waiters, op)
+		h.m.mu.Unlock()
+		return nil, fmt.Errorf("replication: %s timed out awaiting voted response", op)
+	}
+}
+
+// InvokeOneWay performs a replicated one-way invocation (no response; the
+// packet-driver workload of §8).
+func (h *Handle) InvokeOneWay(target ids.ObjectGroupID, iiopRequest []byte) error {
+	_, _, err := h.prepare(target, iiopRequest, false)
+	return err
+}
+
+// prepare assigns the operation identifier, registers a waiter for two-way
+// calls, and multicasts the invocation.
+func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bool) (ids.OperationID, chan []byte, error) {
+	m := h.m
+	m.mu.Lock()
+	if !h.st.active {
+		m.mu.Unlock()
+		return ids.OperationID{}, nil, fmt.Errorf("replication: replica %s not yet active", h.st.id)
+	}
+	h.st.opSeq++
+	op := ids.OperationID{ClientGroup: h.st.id.Group, Seq: h.st.opSeq}
+	var ch chan []byte
+	if twoway {
+		ch = make(chan []byte, 1)
+		if cached, ok := m.respCache[op]; ok {
+			// The vote already decided off our peers' copies; hand the
+			// result straight back.
+			delete(m.respCache, op)
+			ch <- cached
+		} else {
+			m.waiters[op] = ch
+		}
+	}
+	m.stats.InvocationsSent++
+	m.mu.Unlock()
+
+	msg := &group.Message{
+		Kind:    group.KindInvocation,
+		Dest:    target,
+		Op:      op,
+		Sender:  h.st.id,
+		Payload: iiopRequest,
+	}
+	if err := m.stack.Submit(msg.Marshal()); err != nil {
+		if twoway {
+			m.mu.Lock()
+			delete(m.waiters, op)
+			m.mu.Unlock()
+		}
+		return op, nil, fmt.Errorf("replication: multicast invocation: %w", err)
+	}
+	return op, ch, nil
+}
+
+// HandleDelivery processes one totally ordered payload from the Secure
+// Multicast Protocols. It must be called from the stack's delivery
+// goroutine (deliveries arrive in total order).
+func (m *Manager) HandleDelivery(payload []byte) {
+	msg, err := group.Unmarshal(payload)
+	if err != nil {
+		return // not a group message (foreign traffic on the stack)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch msg.Kind {
+	case group.KindJoin:
+		m.handleJoin(msg)
+	case group.KindLeave:
+		m.handleLeave(msg)
+	case group.KindInvocation:
+		m.handleInvocation(msg)
+	case group.KindResponse:
+		m.handleResponse(msg)
+	case group.KindValueFaultVote:
+		m.vfd.remoteVote(msg)
+	case group.KindState:
+		m.handleState(msg)
+	}
+}
+
+// handleJoin applies an object-group join (base group traffic, §6.1). The
+// join's payload flag distinguishes server replicas (which carry state)
+// from client-only replicas (which do not).
+func (m *Manager) handleJoin(msg *group.Message) {
+	// Determine the active server replicas BEFORE the join: they are the
+	// state providers for the joiner. Every manager computes the same
+	// set from the same ordered history.
+	var providers []ids.ReplicaID
+	for _, r := range m.dir.Members(msg.Member.Group) {
+		if mi := m.members[r]; mi != nil && mi.server && mi.active {
+			providers = append(providers, r)
+		}
+	}
+	if !m.dir.Join(msg.Member) {
+		return // duplicate join
+	}
+	m.joinSeq[msg.Member.Group]++
+	marker := m.joinSeq[msg.Member.Group]
+	isServer := len(msg.Payload) > 0 && msg.Payload[0] == 1
+	mi := &memberInfo{server: isServer}
+	m.members[msg.Member] = mi
+
+	st, local := m.hosted[msg.Member.Group]
+	localJoiner := local && msg.Member.Processor == m.self
+
+	if !isServer || len(providers) == 0 {
+		// Client-only replica, or the group's first server replica: no
+		// state to transfer; the replica activates at its join position.
+		mi.active = true
+		if localJoiner {
+			st.active = true
+		}
+		m.recheckLocked()
+		return
+	}
+
+	// State transfer required: record the wait (all managers track it so
+	// that activation stays globally consistent), and any locally hosted
+	// active provider contributes its snapshot, captured exactly at the
+	// join's total-order position so all providers snapshot identical
+	// state (§3.1 reallocation).
+	wait := &stateWait{
+		group:     msg.Member.Group,
+		marker:    marker,
+		providers: make(map[ids.ReplicaID]bool, len(providers)),
+		need:      group.Majority(len(providers)),
+		got:       make(map[ids.ReplicaID]bool),
+		counts:    make(map[[sec.DigestSize]byte]int),
+		pays:      make(map[[sec.DigestSize]byte][]byte),
+	}
+	for _, p := range providers {
+		wait.providers[p] = true
+	}
+	m.pending[msg.Member] = wait
+	if localJoiner {
+		st.needState = true
+	}
+	if local && st.active && st.servant != nil && !localJoiner {
+		state := &group.Message{
+			Kind:    group.KindState,
+			Dest:    msg.Member.Group,
+			Target:  msg.Member.Group,
+			Op:      ids.OperationID{Seq: marker},
+			Sender:  st.id,
+			Payload: st.servant.Snapshot(),
+		}
+		_ = m.stack.Submit(state.Marshal())
+	}
+	m.recheckLocked()
+}
+
+// handleLeave applies an object-group leave.
+func (m *Manager) handleLeave(msg *group.Message) {
+	if !m.dir.Leave(msg.Member) {
+		return
+	}
+	m.removeReplicaLocked(msg.Member)
+	m.recheckLocked()
+}
+
+// removeReplicaLocked cleans a departed replica out of all voting and
+// state-transfer machinery. Caller holds m.mu.
+func (m *Manager) removeReplicaLocked(r ids.ReplicaID) {
+	delete(m.members, r)
+	delete(m.pending, r)
+	if st, ok := m.hosted[r.Group]; ok && r.Processor == m.self {
+		st.active = false
+		delete(m.hosted, r.Group)
+	}
+	m.invVoter.DropSender(r)
+	m.respVoter.DropSender(r)
+	// A departed provider shrinks outstanding state transfers; the need
+	// threshold adjusts so a crash cannot wedge a join forever.
+	for joiner, w := range m.pending {
+		if !w.providers[r] {
+			continue
+		}
+		delete(w.providers, r)
+		delete(w.got, r)
+		w.need = group.Majority(len(w.providers))
+		if len(w.providers) == 0 {
+			// No providers left: the joiner becomes the group's first
+			// (state-free) replica.
+			delete(m.pending, joiner)
+			if mi := m.members[joiner]; mi != nil {
+				mi.active = true
+			}
+			if st, ok := m.hosted[joiner.Group]; ok && joiner.Processor == m.self {
+				st.active = true
+				st.needState = false
+			}
+		}
+	}
+}
+
+// handleInvocation feeds an invocation copy to V_I if the destination
+// group is hosted here (Figure 2: the RM filters messages based on their
+// destination groups).
+func (m *Manager) handleInvocation(msg *group.Message) {
+	st, ok := m.hosted[msg.Dest]
+	if !ok {
+		return
+	}
+	if !m.dir.Contains(msg.Sender) {
+		return // sender is not a current member of its claimed group
+	}
+	m.invDest[msg.Op] = msg.Dest
+	out := m.invVoter.Offer(msg.Op, msg.Sender, msg.Payload)
+	m.noteOutcome(msg, out)
+	if !out.Decided {
+		return
+	}
+	delete(m.invDest, msg.Op)
+	m.stats.InvocationsDecided++
+	if !st.active {
+		st.backlog = append(st.backlog, backlogEntry{op: msg.Op, payload: out.Payload})
+		return
+	}
+	m.dispatchInvocation(st, msg.Op, out.Payload)
+}
+
+// dispatchInvocation runs the voted invocation on the local servant and
+// multicasts the response copy. Caller holds m.mu.
+func (m *Manager) dispatchInvocation(st *replicaState, op ids.OperationID, iiopRequest []byte) {
+	reply, err := st.adapter.HandleRequest(iiopRequest)
+	if err != nil || reply == nil {
+		return // undecodable request or one-way: nothing to send back
+	}
+	resp := &group.Message{
+		Kind:    group.KindResponse,
+		Dest:    op.ClientGroup,
+		Op:      op,
+		Sender:  st.id,
+		Payload: reply,
+	}
+	if err := m.stack.Submit(resp.Marshal()); err == nil {
+		m.stats.ResponsesSent++
+	}
+}
+
+// handleResponse feeds a response copy to V_R if the destination client
+// group is hosted here.
+func (m *Manager) handleResponse(msg *group.Message) {
+	if _, ok := m.hosted[msg.Dest]; !ok {
+		return
+	}
+	if !m.dir.Contains(msg.Sender) {
+		return
+	}
+	out := m.respVoter.Offer(msg.Op, msg.Sender, msg.Payload)
+	m.noteOutcome(msg, out)
+	if !out.Decided {
+		return
+	}
+	m.stats.ResponsesDecided++
+	m.deliverResponseLocked(msg.Op, out.Payload)
+}
+
+// deliverResponseLocked hands a decided response to its waiter, or caches
+// it for a local client replica that has not asked yet. Caller holds m.mu.
+func (m *Manager) deliverResponseLocked(op ids.OperationID, payload []byte) {
+	if ch, ok := m.waiters[op]; ok {
+		delete(m.waiters, op)
+		ch <- payload
+		return
+	}
+	if _, dup := m.respCache[op]; dup {
+		return
+	}
+	m.respCache[op] = payload
+	m.respOrder = append(m.respOrder, op)
+	if len(m.respOrder) > respCacheLimit {
+		evict := m.respOrder[0]
+		m.respOrder = m.respOrder[1:]
+		delete(m.respCache, evict)
+	}
+}
+
+// noteOutcome records duplicate/deviant information from a voter outcome
+// and runs the value-fault protocol of §6.2. Caller holds m.mu.
+func (m *Manager) noteOutcome(msg *group.Message, out voting.Outcome) {
+	if out.Duplicate {
+		m.stats.DuplicatesDiscarded++
+	}
+	var deviants []ids.ReplicaID
+	deviants = append(deviants, out.Deviants...)
+	if out.Deviant != nil {
+		deviants = append(deviants, *out.Deviant)
+	}
+	if len(deviants) == 0 {
+		return
+	}
+	m.stats.ValueFaults += uint64(len(deviants))
+	// Local observation, then a Value_Fault_Vote to the base group so
+	// that every Replication Manager reaches the same verdict (§6.2).
+	votes := make([]group.VoteEntry, 0, len(deviants))
+	for _, d := range deviants {
+		m.vfd.localObservation(m.self, d)
+		votes = append(votes, group.VoteEntry{Sender: d, Digest: sec.Digest(msg.Payload)})
+	}
+	vote := &group.Message{
+		Kind:   group.KindValueFaultVote,
+		Dest:   ids.BaseGroup,
+		Op:     msg.Op,
+		Sender: ids.ReplicaID{Group: msg.Dest, Processor: m.self},
+		Target: msg.Dest,
+		Votes:  votes,
+	}
+	_ = m.stack.Submit(vote.Marshal())
+}
+
+// handleState applies a state snapshot toward a joining replica's
+// majority-voted state transfer. Every manager tallies (so that activation
+// stays globally consistent); only the local joiner actually restores.
+func (m *Manager) handleState(msg *group.Message) {
+	// Locate the wait this snapshot serves.
+	var joiner ids.ReplicaID
+	var wait *stateWait
+	for r, w := range m.pending {
+		if w.group == msg.Target && w.marker == msg.Op.Seq {
+			joiner, wait = r, w
+			break
+		}
+	}
+	if wait == nil {
+		return
+	}
+	if !wait.providers[msg.Sender] || wait.got[msg.Sender] {
+		return // not a designated provider, or a duplicate snapshot
+	}
+	wait.got[msg.Sender] = true
+	d := sec.Digest(msg.Payload)
+	wait.counts[d]++
+	if _, have := wait.pays[d]; !have {
+		wait.pays[d] = append([]byte(nil), msg.Payload...)
+	}
+	if wait.counts[d] < wait.need {
+		return
+	}
+
+	// Majority snapshot: the joiner activates here, at this delivery
+	// position, everywhere.
+	delete(m.pending, joiner)
+	if mi := m.members[joiner]; mi != nil {
+		mi.active = true
+	}
+	st, ok := m.hosted[joiner.Group]
+	if !ok || joiner.Processor != m.self {
+		return
+	}
+	if err := st.servant.Restore(wait.pays[d]); err != nil {
+		return // unusable snapshot; replica stays inactive locally
+	}
+	st.active = true
+	st.needState = false
+	m.stats.StateTransfers++
+	backlog := st.backlog
+	st.backlog = nil
+	for _, b := range backlog {
+		m.dispatchInvocation(st, b.op, b.payload)
+	}
+}
+
+// OnProcessorMembershipChange applies a processor membership install: all
+// replicas hosted by excluded processors are removed from all object
+// groups (§3.1), their pending copies are dropped, and the voters are
+// rechecked (lower degrees may unblock majorities).
+func (m *Manager) OnProcessorMembershipChange(members []ids.ProcessorID) {
+	alive := make(map[ids.ProcessorID]bool, len(members))
+	for _, p := range members {
+		alive[p] = true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.vfd.setProcessors(len(members))
+	// Determine which processors disappeared, deterministically.
+	var removedReplicas []ids.ReplicaID
+	for _, g := range m.dir.Groups() {
+		for _, r := range m.dir.Members(g) {
+			if !alive[r.Processor] {
+				removedReplicas = append(removedReplicas, r)
+			}
+		}
+	}
+	for _, r := range removedReplicas {
+		m.dir.Leave(r)
+		m.removeReplicaLocked(r)
+	}
+	m.recheckLocked()
+}
+
+// recheckLocked drains decisions that became possible after a membership
+// or degree change. Caller holds m.mu.
+func (m *Manager) recheckLocked() {
+	for _, dec := range m.invVoter.Recheck() {
+		m.stats.InvocationsDecided++
+		dest, ok := m.invDest[dec.Op]
+		if !ok {
+			continue
+		}
+		delete(m.invDest, dec.Op)
+		st, hosted := m.hosted[dest]
+		if !hosted {
+			continue
+		}
+		if !st.active {
+			st.backlog = append(st.backlog, backlogEntry{op: dec.Op, payload: dec.Payload})
+			continue
+		}
+		m.dispatchInvocation(st, dec.Op, dec.Payload)
+	}
+	for _, dec := range m.respVoter.Recheck() {
+		m.stats.ResponsesDecided++
+		m.deliverResponseLocked(dec.Op, dec.Payload)
+	}
+}

@@ -1,0 +1,719 @@
+// Package ring implements the message delivery protocol of the Secure
+// Multicast Protocols (paper §7.1): secure reliable totally ordered
+// delivery of messages multicast by processors on a logical ring, imposed
+// on the communication medium, with a token that controls multicasting.
+//
+// To originate a regular message a processor must hold the token. The
+// token carries the fields of Table 3: sender_id, ring_id, seq, aru and
+// the retransmission request list for benign faults; the message digest
+// list for message corruption; and the signature, previous token digest
+// and retransmission guarantee list for malicious faults. One ring
+// instance serves one ring configuration (one installed processor
+// membership); the membership protocol tears the ring down and builds a
+// new one when the membership changes.
+//
+// Concurrency contract: HandleToken, HandleRegular, Tick, and Kickstart
+// must be called from a single goroutine (the owning processor's event
+// loop). Submit may be called from any goroutine.
+package ring
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"immune/internal/ids"
+	"immune/internal/sec"
+	"immune/internal/wire"
+)
+
+// DefaultMaxPerVisit is the number j of messages a token holder may
+// originate per visit. The paper's measurements use up to six multicast
+// messages per token visit (§8), amortizing one token signature over all
+// of them.
+const DefaultMaxPerVisit = 6
+
+// maxRtrList bounds the retransmission request list carried in the token.
+const maxRtrList = 64
+
+// maxSeqAhead bounds how far beyond the highest token-assigned sequence
+// number a received message may claim to be. Legitimate messages precede
+// their token by at most one visit's worth of messages; anything far ahead
+// is a faulty originator trying to inflate state.
+const maxSeqAhead = 1024
+
+// maxDigestList bounds the digest list carried in each token.
+const maxDigestList = 512
+
+// Transport sends frames on the underlying network.
+type Transport interface {
+	// Multicast sends payload to every other processor.
+	Multicast(payload []byte)
+}
+
+// Observer receives protocol events of interest to the Byzantine fault
+// detector (§7.3). All methods are invoked from the ring's event goroutine
+// and must not block. A nil Observer is permitted on Config.
+type Observer interface {
+	// TokenActivity fires whenever a token for the current ring
+	// configuration is accepted; the detector uses it to monitor
+	// liveness of the rotation.
+	TokenActivity(holder ids.ProcessorID, visit uint64)
+	// TokenInvalid fires when a token from the claimed sender fails
+	// signature verification or structural checks (mutant or improperly
+	// formed tokens, Table 1).
+	TokenInvalid(claimed ids.ProcessorID, reason string)
+	// MutantToken fires when two different tokens with the same visit
+	// number are observed (§7.1: mutant token detection via the previous
+	// token digest and signature).
+	MutantToken(claimed ids.ProcessorID, visit uint64)
+	// MutantMessage fires when a message's digest does not match the
+	// digest the token holder placed in the signed token — either
+	// corruption in transit or a mutant message from a faulty sender.
+	MutantMessage(claimed ids.ProcessorID, seq uint64)
+}
+
+// nopObserver is the default observer.
+type nopObserver struct{}
+
+func (nopObserver) TokenActivity(ids.ProcessorID, uint64) {}
+func (nopObserver) TokenInvalid(ids.ProcessorID, string)  {}
+func (nopObserver) MutantToken(ids.ProcessorID, uint64)   {}
+func (nopObserver) MutantMessage(ids.ProcessorID, uint64) {}
+
+var _ Observer = nopObserver{}
+
+// Stats are cumulative counters for one ring configuration.
+type Stats struct {
+	Originated      uint64 // messages this processor originated
+	Delivered       uint64 // messages delivered in total order
+	Retransmissions uint64 // message retransmissions performed
+	TokenVisits     uint64 // tokens accepted (any holder)
+	TokenHeld       uint64 // tokens held by this processor
+	TokenResends    uint64 // token retransmissions after timeout
+	DigestRejects   uint64 // messages discarded for digest mismatch
+	TokenRejects    uint64 // tokens rejected (signature/form/stale)
+}
+
+// Config parameterizes one ring participant.
+type Config struct {
+	Self    ids.ProcessorID
+	Members []ids.ProcessorID // the installed processor membership, sorted
+	Ring    ids.RingID
+	Suite   *sec.Suite
+	Trans   Transport
+	// Deliver receives messages in total order. Required.
+	Deliver func(*wire.Regular)
+	// Obs receives fault-detector events; nil for none.
+	Obs Observer
+	// MaxPerVisit is j, the per-visit origination bound; 0 means
+	// DefaultMaxPerVisit.
+	MaxPerVisit int
+	// TokenTimeout is how long the last token sender waits for evidence
+	// of progress before retransmitting its token; 0 means 10ms.
+	TokenTimeout time.Duration
+	// IdleDelay paces an idle ring: a holder with nothing to originate
+	// and nothing to retransmit holds the token this long before passing
+	// it, so an idle ring does not spin. Zero disables pacing.
+	IdleDelay time.Duration
+	// Now is the clock; nil means time.Now (injected in tests).
+	Now func() time.Time
+}
+
+// Ring is one processor's participation in one ring configuration.
+type Ring struct {
+	cfg       Config
+	successor ids.ProcessorID
+	obs       Observer
+	now       func() time.Time
+
+	qmu   sync.Mutex
+	sendQ [][]byte
+
+	// Protocol state: single event-goroutine access.
+	visit        uint64 // highest token visit accepted
+	seq          uint64 // highest message seq known assigned
+	delivered    uint64 // highest contiguous seq delivered
+	msgs         map[uint64]*wire.Regular
+	digestBook   map[uint64][sec.DigestSize]byte // seq -> digest from tokens
+	tokensSeen   map[uint64][sec.DigestSize]byte // visit -> token digest (mutant detect)
+	lastSentRaw  []byte                          // last token this processor multicast
+	lastSentAt   time.Time
+	lastSentVis  uint64
+	lastAccepted [sec.DigestSize]byte // digest of last accepted token (chain check)
+	aruWindow    []uint64             // arus of the last n+1 accepted tokens
+	stats        Stats
+	stopped      bool
+}
+
+// New validates the configuration and creates a ring participant.
+func New(cfg Config) (*Ring, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("ring %s: empty membership", cfg.Ring)
+	}
+	if cfg.Deliver == nil {
+		return nil, fmt.Errorf("ring %s: Deliver callback required", cfg.Ring)
+	}
+	if cfg.Trans == nil {
+		return nil, fmt.Errorf("ring %s: transport required", cfg.Ring)
+	}
+	if cfg.Suite == nil {
+		return nil, fmt.Errorf("ring %s: security suite required", cfg.Ring)
+	}
+	idx := -1
+	for i, m := range cfg.Members {
+		if i > 0 && cfg.Members[i-1] >= m {
+			return nil, fmt.Errorf("ring %s: members not sorted/unique", cfg.Ring)
+		}
+		if m == cfg.Self {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("ring %s: self %s not in membership", cfg.Ring, cfg.Self)
+	}
+	if cfg.MaxPerVisit <= 0 {
+		cfg.MaxPerVisit = DefaultMaxPerVisit
+	}
+	if cfg.TokenTimeout <= 0 {
+		cfg.TokenTimeout = 10 * time.Millisecond
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	obs := cfg.Obs
+	if obs == nil {
+		obs = nopObserver{}
+	}
+	return &Ring{
+		cfg:        cfg,
+		successor:  cfg.Members[(idx+1)%len(cfg.Members)],
+		obs:        obs,
+		now:        cfg.Now,
+		msgs:       make(map[uint64]*wire.Regular),
+		digestBook: make(map[uint64][sec.DigestSize]byte),
+		tokensSeen: make(map[uint64][sec.DigestSize]byte),
+	}, nil
+}
+
+// Successor returns the next processor in ring order after this one.
+func (r *Ring) Successor() ids.ProcessorID { return r.successor }
+
+// Stats returns a snapshot of the counters. Call from the event goroutine.
+func (r *Ring) Stats() Stats { return r.stats }
+
+// Delivered returns the highest contiguously delivered sequence number.
+func (r *Ring) Delivered() uint64 { return r.delivered }
+
+// Stop makes all further events no-ops; used during membership changes.
+func (r *Ring) Stop() { r.stopped = true }
+
+// Submit queues contents for origination on a future token visit. Safe
+// from any goroutine. The contents are not retained by reference.
+func (r *Ring) Submit(contents []byte) {
+	c := append([]byte(nil), contents...)
+	r.qmu.Lock()
+	defer r.qmu.Unlock()
+	r.sendQ = append(r.sendQ, c)
+}
+
+// QueuedSubmissions reports how many submissions await origination.
+func (r *Ring) QueuedSubmissions() int {
+	r.qmu.Lock()
+	defer r.qmu.Unlock()
+	return len(r.sendQ)
+}
+
+// Kickstart creates the initial token. Exactly one member — by convention
+// the lowest processor id in the membership — calls it once, acting as if
+// it had just received a visit-0 token from its predecessor.
+func (r *Ring) Kickstart() {
+	if r.stopped || r.cfg.Self != r.cfg.Members[0] {
+		return
+	}
+	seed := &wire.Token{Sender: r.predecessor(), Ring: r.cfg.Ring, Visit: 0}
+	r.holdToken(seed)
+}
+
+func (r *Ring) predecessor() ids.ProcessorID {
+	for i, m := range r.cfg.Members {
+		if m == r.cfg.Self {
+			return r.cfg.Members[(i+len(r.cfg.Members)-1)%len(r.cfg.Members)]
+		}
+	}
+	return r.cfg.Self // unreachable; Self validated in New
+}
+
+// HandleToken processes a received token payload.
+func (r *Ring) HandleToken(raw []byte) {
+	if r.stopped {
+		return
+	}
+	tok, err := wire.UnmarshalToken(raw)
+	if err != nil {
+		// Undecodable token: corruption in transit or malformed from a
+		// faulty sender. Sender unknown, so no attribution.
+		r.stats.TokenRejects++
+		return
+	}
+	if tok.Ring != r.cfg.Ring {
+		return // stale configuration
+	}
+	if !r.memberOf(tok.Sender) {
+		// Not attributable: an outsider naming itself (or anyone) in a
+		// token is just noise; suspecting non-members would let forgers
+		// block legitimate future joins.
+		r.stats.TokenRejects++
+		return
+	}
+	if tok.Visit <= r.visit {
+		// Duplicate or stale token. If its contents differ from the
+		// token we accepted for that visit AND its signature verifies,
+		// the claimed sender really signed two different tokens for one
+		// visit — a mutant token. Without a verified signature the
+		// conflict is not attributable (anyone can forge garbage naming
+		// a correct processor), so it is dropped silently.
+		if seen, ok := r.tokensSeen[tok.Visit]; ok && seen != sec.Digest(raw) {
+			if r.cfg.Suite.VerifyToken(tok.Sender, tok.SignedPortion(), tok.Signature) {
+				r.obs.MutantToken(tok.Sender, tok.Visit)
+			}
+		}
+		return
+	}
+	// Verify the signature BEFORE attributing anything to the claimed
+	// sender: an invalid signature proves only that a forgery exists,
+	// never that the named processor misbehaved.
+	if !r.cfg.Suite.VerifyToken(tok.Sender, tok.SignedPortion(), tok.Signature) {
+		r.stats.TokenRejects++
+		return
+	}
+	if err := tok.WellFormed(); err != nil {
+		// The sender provably signed a malformed token: attributable.
+		r.stats.TokenRejects++
+		r.obs.TokenInvalid(tok.Sender, "malformed token: "+err.Error())
+		return
+	}
+	// Previous-token digest chaining: if we saw the token of the previous
+	// visit, the new token must reference it (§7.1 mutant token
+	// detection). After token loss we may lack the previous token; the
+	// check is skipped then, which is safe because the signature still
+	// binds the claimed contents to the claimed sender.
+	if r.cfg.Suite.Level >= sec.LevelSignatures {
+		if prevDigest, ok := r.tokensSeen[tok.Visit-1]; ok && tok.PrevTokenDigest != prevDigest {
+			r.stats.TokenRejects++
+			r.obs.MutantToken(tok.Sender, tok.Visit)
+			return
+		}
+	}
+
+	r.acceptToken(tok, raw)
+}
+
+// acceptToken records an accepted token and, if this processor is the
+// successor of the token's sender, takes the holder role.
+func (r *Ring) acceptToken(tok *wire.Token, raw []byte) {
+	r.visit = tok.Visit
+	r.tokensSeen[tok.Visit] = sec.Digest(raw)
+	r.lastAccepted = sec.Digest(raw)
+	if tok.Seq > r.seq {
+		r.seq = tok.Seq
+	}
+	// Record digests first-write-wins. Tokens carry digests cumulatively
+	// (every digest known for seqs above the aru), so a processor that
+	// missed one token frame recovers the digests from later tokens. A
+	// later signed token contradicting a recorded digest is attributable
+	// evidence that its signer is faulty.
+	for _, e := range tok.DigestList {
+		if d, ok := r.digestBook[e.Seq]; ok {
+			if d != e.Digest {
+				r.obs.TokenInvalid(tok.Sender, "conflicting digest in token")
+			}
+			continue
+		}
+		r.digestBook[e.Seq] = e.Digest
+	}
+	r.stats.TokenVisits++
+	r.obs.TokenActivity(tok.Sender, tok.Visit)
+	r.tryDeliver()
+	r.gc(r.stableAru(tok.Aru))
+
+	if r.successorOf(tok.Sender) == r.cfg.Self {
+		r.holdToken(tok)
+	}
+}
+
+// holdToken performs one token visit: retransmit requested messages,
+// originate new ones, update seq/aru/rtr, and pass the token on.
+func (r *Ring) holdToken(prev *wire.Token) {
+	r.stats.TokenHeld++
+	if r.cfg.IdleDelay > 0 && len(prev.RtrList) == 0 && r.QueuedSubmissions() == 0 {
+		// Idle pacing: holding the token briefly models per-visit
+		// processing time and keeps an idle ring from spinning.
+		time.Sleep(r.cfg.IdleDelay)
+	}
+
+	// 1. Retransmit messages from the incoming retransmission request
+	// list that we hold (§7.1: "requesting retransmission of messages").
+	var stillMissing []uint64
+	var rtg []wire.RtgEntry
+	for _, s := range prev.RtrList {
+		if m, ok := r.msgs[s]; ok {
+			r.cfg.Trans.Multicast(m.Marshal())
+			r.stats.Retransmissions++
+			rtg = append(rtg, wire.RtgEntry{Seq: s, Retransmitter: r.cfg.Self})
+		} else {
+			stillMissing = append(stillMissing, s)
+		}
+	}
+
+	// 2. Originate up to j new messages, assigning consecutive sequence
+	// numbers and recording their digests in the token (Figure 6).
+	batch := r.takeBatch()
+	var digests []wire.DigestEntry
+	seq := prev.Seq
+	for _, contents := range batch {
+		seq++
+		m := &wire.Regular{Sender: r.cfg.Self, Ring: r.cfg.Ring, Seq: seq, Contents: contents}
+		raw := m.Marshal()
+		if r.cfg.Suite.Level >= sec.LevelDigests {
+			d := sec.Digest(raw)
+			digests = append(digests, wire.DigestEntry{Seq: seq, Digest: d})
+			r.digestBook[seq] = d
+		}
+		r.msgs[seq] = m // originator retains its own message for retransmission
+		r.cfg.Trans.Multicast(raw)
+		r.stats.Originated++
+	}
+	r.seq = seq
+	r.tryDeliver()
+
+	// 2b. Carry known digests for still-unstable older messages so that
+	// processors that missed earlier tokens can verify and deliver.
+	if r.cfg.Suite.Level >= sec.LevelDigests {
+		for s := prev.Aru + 1; s <= prev.Seq && len(digests) < maxDigestList; s++ {
+			if d, ok := r.digestBook[s]; ok {
+				digests = append(digests, wire.DigestEntry{Seq: s, Digest: d})
+			}
+		}
+	}
+
+	// 3. Merge our own missing sequence numbers into the request list.
+	rtr := r.mergeMissing(stillMissing)
+
+	// 4. Update the aru: lower it to our all-received-up-to if we are
+	// behind; if we set it previously, raise it to our current level.
+	aru, aruSetter := prev.Aru, prev.AruSetter
+	myAru := r.delivered
+	switch {
+	case myAru < aru:
+		aru, aruSetter = myAru, r.cfg.Self
+	case aruSetter == r.cfg.Self || aru == prev.Seq:
+		aru, aruSetter = myAru, r.cfg.Self
+	}
+	if aru > r.seq {
+		aru = r.seq
+	}
+
+	next := &wire.Token{
+		Sender:          r.cfg.Self,
+		Ring:            r.cfg.Ring,
+		Visit:           prev.Visit + 1,
+		Seq:             r.seq,
+		Aru:             aru,
+		AruSetter:       aruSetter,
+		RtrList:         rtr,
+		DigestList:      digests,
+		PrevTokenDigest: r.lastAccepted,
+		RtgList:         rtg,
+	}
+	sig, err := r.cfg.Suite.SignToken(next.SignedPortion())
+	if err != nil {
+		// A processor that cannot sign cannot participate; dropping the
+		// token here triggers the fault detector's liveness timeout at
+		// the other members, which is the correct failure semantics.
+		return
+	}
+	next.Signature = sig
+
+	raw := next.Marshal()
+	r.visit = next.Visit
+	r.tokensSeen[next.Visit] = sec.Digest(raw)
+	r.lastAccepted = sec.Digest(raw)
+	r.lastSentRaw = raw
+	r.lastSentVis = next.Visit
+	r.lastSentAt = r.now()
+	r.obs.TokenActivity(r.cfg.Self, next.Visit)
+	r.cfg.Trans.Multicast(raw)
+}
+
+// takeBatch removes up to MaxPerVisit pending submissions.
+func (r *Ring) takeBatch() [][]byte {
+	r.qmu.Lock()
+	defer r.qmu.Unlock()
+	n := len(r.sendQ)
+	if n > r.cfg.MaxPerVisit {
+		n = r.cfg.MaxPerVisit
+	}
+	batch := r.sendQ[:n]
+	r.sendQ = r.sendQ[n:]
+	return batch
+}
+
+// mergeMissing builds the outgoing rtr list: sequence numbers nobody
+// retransmitted this visit plus our own gaps, sorted, capped.
+func (r *Ring) mergeMissing(carry []uint64) []uint64 {
+	want := make(map[uint64]bool, len(carry))
+	for _, s := range carry {
+		want[s] = true
+	}
+	for s := r.delivered + 1; s <= r.seq && len(want) < maxRtrList; s++ {
+		if _, ok := r.msgs[s]; !ok {
+			want[s] = true
+		}
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(want))
+	for s := range want {
+		out = append(out, s)
+	}
+	sortU64(out)
+	if len(out) > maxRtrList {
+		out = out[:maxRtrList]
+	}
+	return out
+}
+
+// HandleRegular processes a received regular message payload.
+func (r *Ring) HandleRegular(raw []byte) {
+	if r.stopped {
+		return
+	}
+	m, err := wire.UnmarshalRegular(raw)
+	if err != nil {
+		return // corrupted beyond parsing; rtr machinery will recover it
+	}
+	if m.Ring != r.cfg.Ring {
+		return
+	}
+	if !r.memberOf(m.Sender) {
+		return
+	}
+	if m.Seq == 0 {
+		return // seq 0 is never assigned
+	}
+	if m.Seq <= r.delivered {
+		return // duplicate of an already delivered message
+	}
+	if m.Seq > r.seq+maxSeqAhead {
+		return // absurdly far ahead: faulty originator
+	}
+	if existing, ok := r.msgs[m.Seq]; ok {
+		// Second copy for a seq we already hold. Identical copies are
+		// routine retransmissions; different copies mean a mutant.
+		if existing.Digest() != m.Digest() {
+			r.obs.MutantMessage(m.Sender, m.Seq)
+		}
+		return
+	}
+	if m.Seq > r.seq {
+		r.seq = m.Seq
+	}
+	// Digest screening (§7.1): at LevelDigests and above, a message is
+	// delivered only if it matches the digest in the corresponding token.
+	// If the token has not arrived yet the message is held; if it
+	// mismatches a known digest it is discarded and will be recovered by
+	// retransmission of the genuine message.
+	if r.cfg.Suite.Level >= sec.LevelDigests {
+		if d, ok := r.digestBook[m.Seq]; ok && d != sec.Digest(raw) {
+			r.stats.DigestRejects++
+			r.obs.MutantMessage(m.Sender, m.Seq)
+			return
+		}
+	}
+	r.msgs[m.Seq] = m
+	r.tryDeliver()
+}
+
+// tryDeliver delivers messages in total sequence order: each message is
+// delivered exactly once, only when contiguous, and (at LevelDigests and
+// above) only when its digest is vouched for by a token.
+func (r *Ring) tryDeliver() {
+	for {
+		m, ok := r.msgs[r.delivered+1]
+		if !ok {
+			return
+		}
+		if r.cfg.Suite.Level >= sec.LevelDigests {
+			d, have := r.digestBook[m.Seq]
+			if !have {
+				return // wait for the token bearing the digest
+			}
+			if d != m.Digest() {
+				// Held copy turns out mutant now that the digest
+				// arrived: discard and await retransmission.
+				delete(r.msgs, m.Seq)
+				r.stats.DigestRejects++
+				r.obs.MutantMessage(m.Sender, m.Seq)
+				return
+			}
+		}
+		r.delivered++
+		r.stats.Delivered++
+		r.cfg.Deliver(m)
+	}
+}
+
+// stableAru folds a newly observed token aru into the rotation window and
+// returns the stability threshold. The instantaneous token aru can be
+// transiently too high: the aru-setter raise rule lets the setter lift the
+// aru above the true global minimum for part of a rotation, and releasing
+// messages at that value would discard copies a lagging processor still
+// needs. The minimum over the last n+1 accepted tokens always includes a
+// hold by every processor — in particular the most lagging one, which
+// lowers the aru to its own level — so it never exceeds the true minimum
+// all-received-up-to, making it a safe release point.
+func (r *Ring) stableAru(aru uint64) uint64 {
+	r.aruWindow = append(r.aruWindow, aru)
+	if want := len(r.cfg.Members) + 1; len(r.aruWindow) > want {
+		r.aruWindow = r.aruWindow[len(r.aruWindow)-want:]
+	} else if len(r.aruWindow) < want {
+		return 0 // not enough history for a full rotation yet
+	}
+	min := r.aruWindow[0]
+	for _, a := range r.aruWindow[1:] {
+		if a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// gc releases messages every processor is known to have received (all
+// sequence numbers at or below the stability threshold from stableAru).
+func (r *Ring) gc(aru uint64) {
+	for s := range r.msgs {
+		if s <= aru && s <= r.delivered {
+			delete(r.msgs, s)
+		}
+	}
+	for s := range r.digestBook {
+		if s <= aru && s <= r.delivered {
+			delete(r.digestBook, s)
+		}
+	}
+	// Bound the mutant-detection window.
+	if len(r.tokensSeen) > 4096 {
+		cut := r.visit - 2048
+		for v := range r.tokensSeen {
+			if v < cut {
+				delete(r.tokensSeen, v)
+			}
+		}
+	}
+}
+
+// RecoveryDigests returns the digest vouchers this processor holds for
+// delivered sequence numbers above from, for inclusion in a Flush message
+// during a membership change.
+func (r *Ring) RecoveryDigests(from uint64) []wire.DigestEntry {
+	if r.cfg.Suite.Level < sec.LevelDigests {
+		return nil
+	}
+	var out []wire.DigestEntry
+	for s := from + 1; s <= r.delivered; s++ {
+		if d, ok := r.digestBook[s]; ok {
+			out = append(out, wire.DigestEntry{Seq: s, Digest: d})
+		}
+	}
+	return out
+}
+
+// RecoveryMessages returns the marshaled regular messages this processor
+// still holds for sequence numbers above from, for re-multicast during a
+// membership change so lagging members can catch up on the old ring.
+func (r *Ring) RecoveryMessages(from uint64) [][]byte {
+	var out [][]byte
+	for s := from + 1; s <= r.delivered; s++ {
+		if m, ok := r.msgs[s]; ok {
+			out = append(out, m.Marshal())
+		}
+	}
+	return out
+}
+
+// AdoptFlushDigests installs digest vouchers received in a Flush message,
+// first-write-wins, and attempts delivery. A conflicting voucher is
+// attributable evidence against the flush sender.
+func (r *Ring) AdoptFlushDigests(entries []wire.DigestEntry, from ids.ProcessorID) {
+	if r.stopped {
+		return
+	}
+	for _, e := range entries {
+		if d, ok := r.digestBook[e.Seq]; ok {
+			if d != e.Digest {
+				r.obs.TokenInvalid(from, "conflicting digest in flush")
+			}
+			continue
+		}
+		r.digestBook[e.Seq] = e.Digest
+	}
+	r.tryDeliver()
+}
+
+// DrainQueue removes and returns all pending submissions; the membership
+// layer carries them over to the ring of the next installed configuration.
+func (r *Ring) DrainQueue() [][]byte {
+	r.qmu.Lock()
+	defer r.qmu.Unlock()
+	q := r.sendQ
+	r.sendQ = nil
+	return q
+}
+
+// Tick drives token-loss recovery: if this processor multicast the token
+// last and has seen no later token within the timeout, it retransmits its
+// token (§7.1 message retransmission applies to the token too).
+func (r *Ring) Tick() {
+	if r.stopped || r.lastSentRaw == nil {
+		return
+	}
+	if r.visit > r.lastSentVis {
+		return // rotation moved on
+	}
+	if r.now().Sub(r.lastSentAt) < r.cfg.TokenTimeout {
+		return
+	}
+	r.cfg.Trans.Multicast(r.lastSentRaw)
+	r.stats.TokenResends++
+	r.lastSentAt = r.now()
+}
+
+func (r *Ring) memberOf(p ids.ProcessorID) bool {
+	for _, m := range r.cfg.Members {
+		if m == p {
+			return true
+		}
+	}
+	return false
+}
+
+// successorOf returns the member following p in ring order.
+func (r *Ring) successorOf(p ids.ProcessorID) ids.ProcessorID {
+	for i, m := range r.cfg.Members {
+		if m == p {
+			return r.cfg.Members[(i+1)%len(r.cfg.Members)]
+		}
+	}
+	return p
+}
+
+// sortU64 sorts in place (insertion sort: lists are tiny and capped).
+func sortU64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

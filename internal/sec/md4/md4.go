@@ -1,0 +1,160 @@
+// Package md4 implements the MD4 message-digest algorithm from RFC 1320.
+//
+// The Immune system's Secure Multicast Protocols place a 16-byte digest of
+// each regular message in the token (paper §7, §7.1). The paper uses MD4 via
+// CryptoLib; MD4 is not in the Go standard library, so it is implemented
+// here from the RFC. MD4 is cryptographically broken and must not be used
+// for new designs; it is reproduced solely for fidelity to the paper.
+package md4
+
+import (
+	"encoding/binary"
+	"hash"
+)
+
+// Size is the size of an MD4 checksum in bytes.
+const Size = 16
+
+// BlockSize is the block size of MD4 in bytes.
+const BlockSize = 64
+
+const (
+	init0 = 0x67452301
+	init1 = 0xefcdab89
+	init2 = 0x98badcfe
+	init3 = 0x10325476
+)
+
+// digest is the streaming state of an MD4 computation.
+type digest struct {
+	s   [4]uint32
+	x   [BlockSize]byte
+	nx  int
+	len uint64
+}
+
+var _ hash.Hash = (*digest)(nil)
+
+// New returns a new hash.Hash computing the MD4 checksum.
+func New() hash.Hash {
+	d := new(digest)
+	d.Reset()
+	return d
+}
+
+// Sum returns the MD4 checksum of data.
+func Sum(data []byte) [Size]byte {
+	d := new(digest)
+	d.Reset()
+	d.Write(data)
+	var out [Size]byte
+	d.checkSum(&out)
+	return out
+}
+
+func (d *digest) Reset() {
+	d.s[0] = init0
+	d.s[1] = init1
+	d.s[2] = init2
+	d.s[3] = init3
+	d.nx = 0
+	d.len = 0
+}
+
+func (d *digest) Size() int { return Size }
+
+func (d *digest) BlockSize() int { return BlockSize }
+
+func (d *digest) Write(p []byte) (n int, err error) {
+	n = len(p)
+	d.len += uint64(n)
+	if d.nx > 0 {
+		c := copy(d.x[d.nx:], p)
+		d.nx += c
+		if d.nx == BlockSize {
+			block(d, d.x[:])
+			d.nx = 0
+		}
+		p = p[c:]
+	}
+	for len(p) >= BlockSize {
+		block(d, p[:BlockSize])
+		p = p[BlockSize:]
+	}
+	if len(p) > 0 {
+		d.nx = copy(d.x[:], p)
+	}
+	return n, nil
+}
+
+func (d *digest) Sum(in []byte) []byte {
+	// Make a copy so callers can keep writing.
+	d2 := *d
+	var out [Size]byte
+	d2.checkSum(&out)
+	return append(in, out[:]...)
+}
+
+// checkSum applies MD4 padding and writes the final digest into out.
+func (d *digest) checkSum(out *[Size]byte) {
+	lenBits := d.len << 3
+	var pad [BlockSize + 8]byte
+	pad[0] = 0x80
+	padLen := BlockSize - (int(d.len) % BlockSize) - 8
+	if padLen <= 0 {
+		padLen += BlockSize
+	}
+	binary.LittleEndian.PutUint64(pad[padLen:], lenBits)
+	d.Write(pad[:padLen+8])
+	for i, v := range d.s {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+}
+
+// Round shift amounts (RFC 1320 §3.4).
+var (
+	shift1 = [4]uint32{3, 7, 11, 19}
+	shift2 = [4]uint32{3, 5, 9, 13}
+	shift3 = [4]uint32{3, 9, 11, 15}
+
+	xIndex2 = [16]int{0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15}
+	xIndex3 = [16]int{0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15}
+)
+
+func rotl(x, s uint32) uint32 { return x<<s | x>>(32-s) }
+
+// block processes one 64-byte block (RFC 1320 §3.4).
+func block(d *digest, p []byte) {
+	var x [16]uint32
+	for i := range x {
+		x[i] = binary.LittleEndian.Uint32(p[i*4:])
+	}
+
+	a, b, c, dd := d.s[0], d.s[1], d.s[2], d.s[3]
+
+	// Round 1: F(x,y,z) = (x AND y) OR (NOT x AND z).
+	for i := 0; i < 16; i++ {
+		f := (b & c) | (^b & dd)
+		a = rotl(a+f+x[i], shift1[i%4])
+		a, b, c, dd = dd, a, b, c
+	}
+
+	// Round 2: G(x,y,z) = (x AND y) OR (x AND z) OR (y AND z).
+	for i := 0; i < 16; i++ {
+		g := (b & c) | (b & dd) | (c & dd)
+		a = rotl(a+g+x[xIndex2[i]]+0x5a827999, shift2[i%4])
+		a, b, c, dd = dd, a, b, c
+	}
+
+	// Round 3: H(x,y,z) = x XOR y XOR z.
+	for i := 0; i < 16; i++ {
+		h := b ^ c ^ dd
+		a = rotl(a+h+x[xIndex3[i]]+0x6ed9eba1, shift3[i%4])
+		a, b, c, dd = dd, a, b, c
+	}
+
+	d.s[0] += a
+	d.s[1] += b
+	d.s[2] += c
+	d.s[3] += dd
+}

@@ -1,0 +1,301 @@
+package sec
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"immune/internal/ids"
+)
+
+func testKeyPair(t *testing.T, bits int, seed uint64) *KeyPair {
+	t.Helper()
+	kp, err := GenerateKeyPair(bits, NewSeededReader(seed))
+	if err != nil {
+		t.Fatalf("GenerateKeyPair(%d): %v", bits, err)
+	}
+	return kp
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	kp := testKeyPair(t, DefaultModulusBits, 1)
+	d := Digest([]byte("an IIOP invocation"))
+	sig, err := kp.Sign(d[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kp.Public().Verify(d[:], sig) {
+		t.Fatal("valid signature rejected")
+	}
+}
+
+func TestVerifyRejectsTamperedDigest(t *testing.T) {
+	kp := testKeyPair(t, DefaultModulusBits, 2)
+	d := Digest([]byte("original"))
+	sig, err := kp.Sign(d[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := Digest([]byte("tampered"))
+	if kp.Public().Verify(d2[:], sig) {
+		t.Fatal("signature verified against a different digest")
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	kp := testKeyPair(t, DefaultModulusBits, 3)
+	d := Digest([]byte("message"))
+	sig, err := kp.Sign(d[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig[0] ^= 0x01
+	if kp.Public().Verify(d[:], sig) {
+		t.Fatal("tampered signature verified")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	kpA := testKeyPair(t, DefaultModulusBits, 4)
+	kpB := testKeyPair(t, DefaultModulusBits, 5)
+	d := Digest([]byte("masquerade attempt"))
+	sig, err := kpA.Sign(d[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kpB.Public().Verify(d[:], sig) {
+		t.Fatal("signature from A verified under B's key: masquerading possible")
+	}
+}
+
+func TestVerifyRejectsEmptyInputs(t *testing.T) {
+	kp := testKeyPair(t, 128, 6)
+	d := Digest([]byte("x"))
+	sig, err := kp.Sign(d[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp.Public().Verify(nil, sig) {
+		t.Fatal("verified nil digest")
+	}
+	if kp.Public().Verify(d[:], nil) {
+		t.Fatal("verified nil signature")
+	}
+}
+
+func TestGenerateKeyPairRejectsTinyModulus(t *testing.T) {
+	if _, err := GenerateKeyPair(32, NewSeededReader(1)); err == nil {
+		t.Fatal("expected error for 32-bit modulus")
+	}
+}
+
+func TestSignReducesOversizeDigest(t *testing.T) {
+	// A digest larger than the modulus is reduced mod N (textbook RSA);
+	// the signature must still verify and an empty digest must error.
+	kp := testKeyPair(t, 64, 7)
+	big := bytes.Repeat([]byte{0xff}, 32) // 256-bit "digest" into 64-bit modulus
+	sig, err := kp.Sign(big)
+	if err != nil {
+		t.Fatalf("sign oversize digest: %v", err)
+	}
+	if !kp.Public().Verify(big, sig) {
+		t.Fatal("reduced-digest signature did not verify")
+	}
+	if _, err := kp.Sign(nil); err == nil {
+		t.Fatal("empty digest accepted")
+	}
+}
+
+func TestDeterministicKeyGeneration(t *testing.T) {
+	a := testKeyPair(t, 128, 42)
+	b := testKeyPair(t, 128, 42)
+	if !a.Public().Equal(b.Public()) {
+		t.Fatal("same seed produced different keys")
+	}
+	c := testKeyPair(t, 128, 43)
+	if a.Public().Equal(c.Public()) {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestSignatureSize(t *testing.T) {
+	kp := testKeyPair(t, DefaultModulusBits, 8)
+	want := (kp.Public().N.BitLen() + 7) / 8
+	if got := kp.Public().SignatureSize(); got != want {
+		t.Fatalf("SignatureSize() = %d, want %d", got, want)
+	}
+}
+
+func TestSignVerifyProperty(t *testing.T) {
+	kp := testKeyPair(t, 200, 9)
+	pub := kp.Public()
+	f := func(msg []byte) bool {
+		d := Digest(msg)
+		sig, err := kp.Sign(d[:])
+		if err != nil {
+			return false
+		}
+		return pub.Verify(d[:], sig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyRing(t *testing.T) {
+	kr := NewKeyRing()
+	kp := testKeyPair(t, 128, 10)
+	p := ids.ProcessorID(3)
+
+	if _, err := kr.Lookup(p); err == nil {
+		t.Fatal("lookup of unregistered processor succeeded")
+	}
+	kr.Register(p, kp.Public())
+	got, err := kr.Lookup(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(kp.Public()) {
+		t.Fatal("key ring returned a different key")
+	}
+	if kr.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", kr.Len())
+	}
+}
+
+func TestSuiteLevels(t *testing.T) {
+	kp := testKeyPair(t, 128, 11)
+	kr := NewKeyRing()
+	self := ids.ProcessorID(1)
+	kr.Register(self, kp.Public())
+	token := []byte("token bytes")
+
+	t.Run("none", func(t *testing.T) {
+		s, err := NewSuite(LevelNone, self, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err := s.SignToken(token)
+		if err != nil || sig != nil {
+			t.Fatalf("SignToken at LevelNone = (%v, %v), want (nil, nil)", sig, err)
+		}
+		if !s.VerifyToken(self, token, nil) {
+			t.Fatal("LevelNone must accept unsigned tokens")
+		}
+	})
+
+	t.Run("signatures", func(t *testing.T) {
+		s, err := NewSuite(LevelSignatures, self, kp, kr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err := s.SignToken(token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.VerifyToken(self, token, sig) {
+			t.Fatal("valid token signature rejected")
+		}
+		if s.VerifyToken(self, append([]byte("mutant "), token...), sig) {
+			t.Fatal("mutant token accepted")
+		}
+		if s.VerifyToken(ids.ProcessorID(99), token, sig) {
+			t.Fatal("signature accepted for processor with no registered key")
+		}
+	})
+
+	t.Run("signatures-missing-key", func(t *testing.T) {
+		if _, err := NewSuite(LevelSignatures, self, nil, nil); err == nil {
+			t.Fatal("NewSuite must reject LevelSignatures without keys")
+		}
+	})
+}
+
+func TestLevelString(t *testing.T) {
+	cases := map[Level]string{
+		LevelNone:       "none",
+		LevelDigests:    "digests",
+		LevelSignatures: "digests+signatures",
+		Level(9):        "Level(9)",
+	}
+	for l, want := range cases {
+		if l.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(l), l.String(), want)
+		}
+	}
+}
+
+func TestSeededReaderDeterminism(t *testing.T) {
+	a := NewSeededReader(7)
+	b := NewSeededReader(7)
+	bufA := make([]byte, 1024)
+	bufB := make([]byte, 1024)
+	if _, err := io.ReadFull(a, bufA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(b, bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA, bufB) {
+		t.Fatal("same-seed readers diverged")
+	}
+	c := NewSeededReader(8)
+	bufC := make([]byte, 1024)
+	if _, err := io.ReadFull(c, bufC); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA, bufC) {
+		t.Fatal("different-seed readers identical")
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	for _, bits := range []int{300, 512, 1024} {
+		kp, err := GenerateKeyPair(bits, NewSeededReader(uint64(bits)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := Digest([]byte("benchmark message"))
+		b.Run(Level.String(LevelSignatures)+"/bits="+itoa(bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := kp.Sign(d[:]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	kp, err := GenerateKeyPair(DefaultModulusBits, NewSeededReader(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := Digest([]byte("benchmark message"))
+	sig, err := kp.Sign(d[:])
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := kp.Public()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !pub.Verify(d[:], sig) {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

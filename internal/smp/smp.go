@@ -1,0 +1,434 @@
+// Package smp assembles the Secure Multicast Protocols of the Immune
+// system (paper §7, Figure 5): the message delivery protocol (token ring),
+// the processor membership protocol, and the Byzantine fault detector, one
+// instance of each per processor. The composed stack delivers two kinds of
+// events to the layer above (the object group interface): regular data
+// messages in secure reliable total order, and Processor Membership Change
+// notifications delivered in sequence with the regular messages.
+package smp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"immune/internal/detector"
+	"immune/internal/ids"
+	"immune/internal/membership"
+	"immune/internal/netsim"
+	"immune/internal/ring"
+	"immune/internal/sec"
+	"immune/internal/wire"
+)
+
+// Delivery is one totally ordered data message handed to the layer above.
+type Delivery struct {
+	Sender  ids.ProcessorID // originating processor
+	Ring    ids.RingID      // ring configuration that ordered it
+	Seq     uint64          // position in that configuration's total order
+	Payload []byte          // opaque contents (the object group layer's encoding)
+}
+
+// Config parameterizes one processor's protocol stack.
+type Config struct {
+	Self    ids.ProcessorID
+	Members []ids.ProcessorID // initial processor membership
+	Suite   *sec.Suite
+	// Endpoint is the processor's attachment to the (simulated) LAN.
+	Endpoint *netsim.Endpoint
+	// Deliver receives data messages in total order. Required. Invoked
+	// from the stack's event goroutine; must not block.
+	Deliver func(Delivery)
+	// OnMembershipChange receives Processor Membership Change
+	// notifications, in order, interleaved correctly with deliveries.
+	// Optional.
+	OnMembershipChange func(membership.Install)
+
+	// MaxPerVisit is the token-visit origination bound j (§8); 0 means
+	// ring.DefaultMaxPerVisit.
+	MaxPerVisit int
+	// IdleDelay paces an idle token rotation; 0 means 500µs. An idle
+	// six-member ring then costs ~2000 signed token visits/s instead of
+	// spinning, which matters when many systems share a machine (tests).
+	IdleDelay time.Duration
+	// TokenTimeout is the token retransmission timeout; 0 means 2ms.
+	TokenTimeout time.Duration
+	// SuspectTimeout is the fault detector's liveness timeout; 0 means
+	// 50ms.
+	SuspectTimeout time.Duration
+	// PollInterval is the event-loop sleep when idle; 0 means 100µs.
+	PollInterval time.Duration
+}
+
+// Stack is one processor's Secure Multicast Protocols instance.
+type Stack struct {
+	cfg Config
+	det *detector.Detector
+	mem *membership.Membership
+
+	mu      sync.Mutex
+	cur     *ring.Ring // nil once excluded from the membership
+	curInst membership.Install
+	pending []membership.Install // installs awaiting event-loop processing
+
+	stop    chan struct{}
+	done    chan struct{}
+	started bool // guarded by mu
+}
+
+// New builds (but does not start) a protocol stack.
+func New(cfg Config) (*Stack, error) {
+	if cfg.Deliver == nil {
+		return nil, fmt.Errorf("smp %s: Deliver required", cfg.Self)
+	}
+	if cfg.Endpoint == nil {
+		return nil, fmt.Errorf("smp %s: endpoint required", cfg.Self)
+	}
+	if cfg.Suite == nil {
+		return nil, fmt.Errorf("smp %s: suite required", cfg.Self)
+	}
+	if cfg.IdleDelay == 0 {
+		cfg.IdleDelay = 500 * time.Microsecond
+	}
+	if cfg.TokenTimeout <= 0 {
+		cfg.TokenTimeout = 2 * time.Millisecond
+	}
+	if cfg.SuspectTimeout <= 0 {
+		cfg.SuspectTimeout = 50 * time.Millisecond
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 100 * time.Microsecond
+	}
+
+	s := &Stack{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	s.det = detector.New(detector.Config{
+		Self:           cfg.Self,
+		SuspectTimeout: cfg.SuspectTimeout,
+	})
+
+	mem, err := membership.New(membership.Config{
+		Self:      cfg.Self,
+		Suite:     cfg.Suite,
+		Trans:     cfg.Endpoint,
+		Initial:   cfg.Members,
+		Source:    sourceAdapter{det: s.det},
+		Bridge:    bridgeAdapter{s: s},
+		OnInstall: s.queueInstall,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("smp %s: %w", cfg.Self, err)
+	}
+	s.mem = mem
+
+	inst := mem.Current()
+	r, err := s.buildRing(inst, nil)
+	if err != nil {
+		return nil, fmt.Errorf("smp %s: %w", cfg.Self, err)
+	}
+	s.cur = r
+	s.curInst = inst
+	s.det.SetView(inst.Members)
+	return s, nil
+}
+
+// buildRing constructs the ring instance for an installed membership.
+func (s *Stack) buildRing(inst membership.Install, carryover [][]byte) (*ring.Ring, error) {
+	r, err := ring.New(ring.Config{
+		Self:         s.cfg.Self,
+		Members:      inst.Members,
+		Ring:         inst.Ring,
+		Suite:        s.cfg.Suite,
+		Trans:        s.cfg.Endpoint,
+		Obs:          s.det,
+		MaxPerVisit:  s.cfg.MaxPerVisit,
+		TokenTimeout: s.cfg.TokenTimeout,
+		IdleDelay:    s.cfg.IdleDelay,
+		Deliver: func(m *wire.Regular) {
+			s.cfg.Deliver(Delivery{
+				Sender:  m.Sender,
+				Ring:    m.Ring,
+				Seq:     m.Seq,
+				Payload: m.Contents,
+			})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range carryover {
+		r.Submit(p)
+	}
+	return r, nil
+}
+
+// Start launches the event loop and, on the designated starter, the token.
+// Starting twice is a no-op.
+func (s *Stack) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	if s.cur != nil {
+		s.cur.Kickstart()
+	}
+	s.mu.Unlock()
+	go s.loop()
+}
+
+// Stop terminates the event loop and waits for it to exit. Stopping a
+// never-started or already-stopped stack is a no-op.
+func (s *Stack) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		<-s.done
+	}
+}
+
+// Submit queues a payload for secure reliable totally ordered multicast.
+// Safe from any goroutine. Returns an error if this processor has been
+// excluded from the membership.
+func (s *Stack) Submit(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil {
+		return fmt.Errorf("smp %s: excluded from membership", s.cfg.Self)
+	}
+	s.cur.Submit(payload)
+	return nil
+}
+
+// Self returns this processor's identifier.
+func (s *Stack) Self() ids.ProcessorID { return s.cfg.Self }
+
+// View returns the currently installed membership.
+func (s *Stack) View() membership.Install {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.curInst
+}
+
+// Suspects returns the local fault detector's current output.
+func (s *Stack) Suspects() []ids.ProcessorID { return s.det.Suspects() }
+
+// ValueFaultSuspect forwards a Value Fault Suspect notification from the
+// Replication Manager's value fault detector to the local Byzantine fault
+// detector (paper §6.2). Safe from any goroutine.
+func (s *Stack) ValueFaultSuspect(p ids.ProcessorID) {
+	// Detector suspicion state is internally locked; event-loop-only
+	// state is not touched here.
+	s.det.ValueFaultSuspect(p)
+}
+
+// RingStats returns the current ring's counters (zero value if excluded).
+func (s *Stack) RingStats() ring.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil {
+		return ring.Stats{}
+	}
+	return s.cur.Stats()
+}
+
+// Installs reports how many membership changes have been installed.
+func (s *Stack) Installs() uint64 { return s.mem.Installs() }
+
+// queueInstall records an install decided by the membership protocol; the
+// event loop applies it (it may fire from within HandleMessage, which is
+// already on the event goroutine, but deferring keeps ring swaps at a
+// single point).
+func (s *Stack) queueInstall(inst membership.Install) {
+	s.pending = append(s.pending, inst)
+}
+
+// applyInstalls swaps ring configurations for queued installs.
+func (s *Stack) applyInstalls() {
+	for len(s.pending) > 0 {
+		inst := s.pending[0]
+		s.pending = s.pending[1:]
+
+		var carryover [][]byte
+		s.mu.Lock()
+		if s.cur != nil {
+			s.cur.Stop()
+			carryover = s.cur.DrainQueue()
+		}
+		selfIn := false
+		for _, p := range inst.Members {
+			if p == s.cfg.Self {
+				selfIn = true
+			}
+		}
+		if !selfIn {
+			s.cur = nil
+			s.curInst = inst
+			s.mu.Unlock()
+			if s.cfg.OnMembershipChange != nil {
+				s.cfg.OnMembershipChange(inst)
+			}
+			continue
+		}
+		r, err := s.buildRing(inst, carryover)
+		if err != nil {
+			// Cannot happen for a validated install; treat as exclusion.
+			s.cur = nil
+			s.curInst = inst
+			s.mu.Unlock()
+			continue
+		}
+		s.cur = r
+		s.curInst = inst
+		s.mu.Unlock()
+
+		s.det.SetView(inst.Members)
+		if s.cfg.OnMembershipChange != nil {
+			s.cfg.OnMembershipChange(inst)
+		}
+		if len(inst.Members) > 0 && inst.Members[0] == s.cfg.Self {
+			r.Kickstart()
+		}
+	}
+}
+
+// loop is the stack's single event goroutine: drain a batch of frames,
+// run the timers, sleep only when idle.
+func (s *Stack) loop() {
+	defer close(s.done)
+	lastTick := time.Now()
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+
+		processed := 0
+		for processed < 128 {
+			f, ok := s.cfg.Endpoint.TryRecv()
+			if !ok {
+				break
+			}
+			s.dispatch(f)
+			processed++
+		}
+		now := time.Now()
+		if now.Sub(lastTick) >= s.cfg.PollInterval {
+			lastTick = now
+			s.mu.Lock()
+			cur := s.cur
+			s.mu.Unlock()
+			if cur != nil {
+				cur.Tick()
+			}
+			// While a membership change is forming, the old ring is
+			// expected to stall; running the liveness walk then would
+			// pile false suspicions onto correct processors. The
+			// membership protocol's own unresponsive-reporting covers
+			// that phase.
+			if !s.mem.Forming() {
+				s.det.Tick()
+			}
+			s.mem.Tick()
+			s.applyInstalls()
+		}
+		if processed == 0 {
+			time.Sleep(s.cfg.PollInterval)
+		}
+	}
+}
+
+// dispatch routes one frame by wire kind.
+func (s *Stack) dispatch(f netsim.Frame) {
+	kind, err := wire.PeekKind(f.Payload)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	cur := s.cur
+	s.mu.Unlock()
+	switch kind {
+	case wire.KindToken:
+		if cur != nil {
+			cur.HandleToken(f.Payload)
+		}
+	case wire.KindRegular:
+		if cur != nil {
+			cur.HandleRegular(f.Payload)
+		}
+	case wire.KindMembership:
+		s.mem.HandleMessage(f.Payload)
+	case wire.KindFlush:
+		s.mem.HandleFlush(f.Payload)
+	}
+	s.applyInstalls()
+}
+
+// sourceAdapter exposes the detector as the membership protocol's suspect
+// source.
+type sourceAdapter struct{ det *detector.Detector }
+
+var _ membership.SuspectSource = sourceAdapter{}
+
+func (a sourceAdapter) Suspects() []ids.ProcessorID      { return a.det.Suspects() }
+func (a sourceAdapter) Suspected(p ids.ProcessorID) bool { return a.det.Suspected(p) }
+func (a sourceAdapter) AdoptSuspicion(p ids.ProcessorID, _ string) {
+	a.det.AdoptSuspicion(p, detector.ReasonCorroborated)
+}
+func (a sourceAdapter) Unresponsive(p ids.ProcessorID) { a.det.Unresponsive(p) }
+
+// bridgeAdapter exposes the live ring to the membership protocol's flush
+// exchange. All calls occur on the event goroutine.
+type bridgeAdapter struct{ s *Stack }
+
+var _ membership.RingBridge = bridgeAdapter{}
+
+func (b bridgeAdapter) cur() *ring.Ring {
+	b.s.mu.Lock()
+	defer b.s.mu.Unlock()
+	return b.s.cur
+}
+
+func (b bridgeAdapter) Delivered() uint64 {
+	if r := b.cur(); r != nil {
+		return r.Delivered()
+	}
+	return 0
+}
+
+func (b bridgeAdapter) RecoveryDigests(from uint64) []wire.DigestEntry {
+	if r := b.cur(); r != nil {
+		return r.RecoveryDigests(from)
+	}
+	return nil
+}
+
+func (b bridgeAdapter) RecoveryMessages(from uint64) [][]byte {
+	if r := b.cur(); r != nil {
+		return r.RecoveryMessages(from)
+	}
+	return nil
+}
+
+func (b bridgeAdapter) AdoptFlushDigests(entries []wire.DigestEntry, from ids.ProcessorID) {
+	if r := b.cur(); r != nil {
+		r.AdoptFlushDigests(entries, from)
+	}
+}
+
+func (b bridgeAdapter) HandleRegular(raw []byte) {
+	if r := b.cur(); r != nil {
+		r.HandleRegular(raw)
+	}
+}

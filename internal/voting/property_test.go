@@ -1,0 +1,104 @@
+package voting
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"immune/internal/ids"
+)
+
+// TestOrderInsensitiveDecision: for any set of copies with an honest
+// majority, the voter decides the honest value regardless of arrival
+// order. This is stronger than the paper needs (total order fixes the
+// arrival order) but pins the voter's core algebra.
+func TestOrderInsensitiveDecision(t *testing.T) {
+	f := func(seed int64, faultyMask uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const degree = 5
+		honest := []byte("honest-value")
+
+		type copyMsg struct {
+			sender  ids.ReplicaID
+			payload []byte
+		}
+		var copies []copyMsg
+		faulty := 0
+		for i := 0; i < degree; i++ {
+			payload := honest
+			if faultyMask&(1<<i) != 0 && faulty < 2 { // at most 2 of 5 faulty
+				payload = []byte{byte(i), 0xee}
+				faulty++
+			}
+			copies = append(copies, copyMsg{
+				sender:  ids.ReplicaID{Group: clientGroup, Processor: ids.ProcessorID(i + 1)},
+				payload: payload,
+			})
+		}
+		rng.Shuffle(len(copies), func(i, j int) { copies[i], copies[j] = copies[j], copies[i] })
+
+		v := NewVoter(fixedDegree(map[ids.ObjectGroupID]int{clientGroup: degree}))
+		var decided []byte
+		for _, c := range copies {
+			out := v.Offer(opA, c.sender, c.payload)
+			if out.Decided {
+				if decided != nil {
+					return false // double decision
+				}
+				decided = out.Payload
+			}
+		}
+		// 3 honest copies of 5 always form a majority.
+		return decided != nil && bytes.Equal(decided, honest)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoDecisionWithoutMajority: if no value reaches ⌊r/2⌋+1 copies, the
+// voter never decides — a Byzantine minority can delay but never forge a
+// result.
+func TestNoDecisionWithoutMajority(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const degree = 5
+		v := NewVoter(fixedDegree(map[ids.ObjectGroupID]int{clientGroup: degree}))
+		// Five distinct values: max count 1 < 3.
+		order := rng.Perm(degree)
+		for _, i := range order {
+			out := v.Offer(opA,
+				ids.ReplicaID{Group: clientGroup, Processor: ids.ProcessorID(i + 1)},
+				[]byte{byte(i)})
+			if out.Decided {
+				return false
+			}
+		}
+		return v.Pending() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeviantsExactlyComplementMajority: everyone who voted against the
+// decided value — and no one else — is flagged.
+func TestDeviantsExactlyComplementMajority(t *testing.T) {
+	v := NewVoter(fixedDegree(map[ids.ObjectGroupID]int{clientGroup: 5}))
+	mk := func(p int) ids.ReplicaID {
+		return ids.ReplicaID{Group: clientGroup, Processor: ids.ProcessorID(p)}
+	}
+	v.Offer(opA, mk(1), []byte("bad-a"))
+	v.Offer(opA, mk(2), []byte("good"))
+	v.Offer(opA, mk(3), []byte("bad-b"))
+	v.Offer(opA, mk(4), []byte("good"))
+	out := v.Offer(opA, mk(5), []byte("good"))
+	if !out.Decided {
+		t.Fatal("not decided at 3 of 5")
+	}
+	if len(out.Deviants) != 2 ||
+		out.Deviants[0] != mk(1) || out.Deviants[1] != mk(3) {
+		t.Fatalf("deviants = %v", out.Deviants)
+	}
+}

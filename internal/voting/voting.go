@@ -1,0 +1,273 @@
+// Package voting implements the Immune system's majority voting machinery
+// (paper §5.1, §6): the voters V_I (on invocations, at server replicas)
+// and V_R (on responses, at client replicas), duplicate detection via
+// operation identifiers, suppression of copies after a result is produced,
+// and value-fault detection when a replica's copy deviates from the
+// majority value.
+//
+// The voting algorithm is deterministic: because every Replication Manager
+// receives the same copies in the same total order (courtesy of the Secure
+// Multicast Protocols) and the thresholds are functions of the same group
+// membership view, every voter produces the same result for each operation
+// at every replica (paper §6.1).
+package voting
+
+import (
+	"fmt"
+	"sort"
+
+	"immune/internal/ids"
+	"immune/internal/sec"
+)
+
+// Copy is one received copy of an invocation or response.
+type Copy struct {
+	Sender  ids.ReplicaID
+	Payload []byte
+	Digest  [sec.DigestSize]byte
+}
+
+// Outcome reports the voter's decision state after offering a copy.
+type Outcome struct {
+	// Decided is true the single time the voter produces its result.
+	Decided bool
+	// Payload is the majority value (set only when Decided).
+	Payload []byte
+	// Deviants lists replicas whose copies differed from the majority
+	// value (value faults, §6.2). Populated when Decided and extended on
+	// late deviant arrivals via the Deviant field.
+	Deviants []ids.ReplicaID
+	// Duplicate is true if the copy repeats a sender's earlier copy or
+	// arrives after the decision with the majority value.
+	Duplicate bool
+	// Deviant is set (non-zero processor) when a single late or repeat
+	// copy deviates from the decided value or from the sender's own
+	// earlier copy.
+	Deviant *ids.ReplicaID
+}
+
+// entry is the per-operation voting state.
+type entry struct {
+	copies   map[ids.ReplicaID][sec.DigestSize]byte
+	payloads map[[sec.DigestSize]byte][]byte
+	counts   map[[sec.DigestSize]byte]int
+	decided  bool
+	winner   [sec.DigestSize]byte
+}
+
+// Voter runs majority voting for operations addressed to one target group
+// (one V_I or V_R instance, Figure 2). Not safe for concurrent use; the
+// Replication Manager drives it from its delivery goroutine.
+type Voter struct {
+	// degree returns the current replication degree of the sender group
+	// (r_c for invocations, r_s for responses), from the base group's
+	// membership information.
+	degree func(sender ids.ObjectGroupID) int
+
+	ops      map[ids.OperationID]*entry
+	decided  map[ids.OperationID][sec.DigestSize]byte // op -> winning digest
+	loOp     map[ids.ObjectGroupID]uint64             // GC watermark per client group
+	capacity int
+}
+
+// NewVoter creates a voter. degree must return the sender group's current
+// replication degree (0 if unknown — voting waits until it is known).
+func NewVoter(degree func(ids.ObjectGroupID) int) *Voter {
+	return &Voter{
+		degree:   degree,
+		ops:      make(map[ids.OperationID]*entry),
+		decided:  make(map[ids.OperationID][sec.DigestSize]byte),
+		loOp:     make(map[ids.ObjectGroupID]uint64),
+		capacity: 4096,
+	}
+}
+
+// Pending returns the number of undecided operations being voted on.
+func (v *Voter) Pending() int { return len(v.ops) }
+
+// Offer feeds one copy to the voter and reports the resulting state
+// transition.
+func (v *Voter) Offer(op ids.OperationID, sender ids.ReplicaID, payload []byte) Outcome {
+	if winner, done := v.decided[op]; done {
+		// Post-decision copy: discarded per §6.1, but a copy deviating
+		// from the decided value is still attributable evidence of a
+		// value fault (§6.2).
+		if sec.Digest(payload) != winner {
+			dev := sender
+			return Outcome{Duplicate: true, Deviant: &dev}
+		}
+		return Outcome{Duplicate: true}
+	}
+	e := v.ops[op]
+	if e == nil {
+		e = &entry{
+			copies:   make(map[ids.ReplicaID][sec.DigestSize]byte),
+			payloads: make(map[[sec.DigestSize]byte][]byte),
+			counts:   make(map[[sec.DigestSize]byte]int),
+		}
+		v.ops[op] = e
+	}
+	d := sec.Digest(payload)
+	if prev, ok := e.copies[sender]; ok {
+		if prev == d {
+			return Outcome{Duplicate: true}
+		}
+		// The same replica sent two different values for one operation:
+		// unambiguously faulty (mutant invocation/response). Do not let
+		// the second value influence the vote.
+		dev := sender
+		return Outcome{Duplicate: true, Deviant: &dev}
+	}
+	e.copies[sender] = d
+	if _, ok := e.payloads[d]; !ok {
+		e.payloads[d] = append([]byte(nil), payload...)
+	}
+	e.counts[d]++
+
+	r := v.degree(op.ClientGroup)
+	if sender.Group != op.ClientGroup {
+		// Response voting: the sender group is the server group, not the
+		// operation's client group.
+		r = v.degree(sender.Group)
+	}
+	if r <= 0 {
+		return Outcome{}
+	}
+	need := r/2 + 1
+	if e.counts[d] < need {
+		return Outcome{}
+	}
+
+	// Majority reached: decide this value.
+	e.decided = true
+	e.winner = d
+	v.decided[op] = d
+	out := Outcome{Decided: true, Payload: e.payloads[d]}
+	for s, cd := range e.copies {
+		if cd != d {
+			out.Deviants = append(out.Deviants, s)
+		}
+	}
+	sort.Slice(out.Deviants, func(i, j int) bool {
+		if out.Deviants[i].Group != out.Deviants[j].Group {
+			return out.Deviants[i].Group < out.Deviants[j].Group
+		}
+		return out.Deviants[i].Processor < out.Deviants[j].Processor
+	})
+	delete(v.ops, op)
+	v.gc(op)
+	return out
+}
+
+// OfferLate checks a copy arriving after the decision against the decided
+// value. The Replication Manager calls Offer unconditionally; this variant
+// exists for explicitly auditing stragglers in tests.
+func (v *Voter) OfferLate(op ids.OperationID, sender ids.ReplicaID, payload []byte, decided [sec.DigestSize]byte) Outcome {
+	if sec.Digest(payload) != decided {
+		dev := sender
+		return Outcome{Duplicate: true, Deviant: &dev}
+	}
+	return Outcome{Duplicate: true}
+}
+
+// Recheck re-evaluates all pending operations after a membership change
+// lowered a group's degree (a crashed replica can no longer block
+// majorities). It returns the newly decidable outcomes in deterministic
+// (client group, seq) order.
+func (v *Voter) Recheck() []DecidedOp {
+	var pend []ids.OperationID
+	for op := range v.ops {
+		pend = append(pend, op)
+	}
+	sort.Slice(pend, func(i, j int) bool {
+		if pend[i].ClientGroup != pend[j].ClientGroup {
+			return pend[i].ClientGroup < pend[j].ClientGroup
+		}
+		return pend[i].Seq < pend[j].Seq
+	})
+	var out []DecidedOp
+	for _, op := range pend {
+		e := v.ops[op]
+		var senderGroup ids.ObjectGroupID
+		for s := range e.copies {
+			senderGroup = s.Group
+			break
+		}
+		r := v.degree(senderGroup)
+		if r <= 0 {
+			continue
+		}
+		need := r/2 + 1
+		for d, n := range e.counts {
+			if n < need {
+				continue
+			}
+			e.decided = true
+			e.winner = d
+			v.decided[op] = d
+			dec := DecidedOp{Op: op, Payload: e.payloads[d]}
+			for s, cd := range e.copies {
+				if cd != d {
+					dec.Deviants = append(dec.Deviants, s)
+				}
+			}
+			delete(v.ops, op)
+			out = append(out, dec)
+			break
+		}
+	}
+	return out
+}
+
+// DecidedOp is a deferred decision produced by Recheck.
+type DecidedOp struct {
+	Op       ids.OperationID
+	Payload  []byte
+	Deviants []ids.ReplicaID
+}
+
+// DropSender removes a replica's pending copies (used when a processor is
+// excluded and its replicas are removed from all groups, §3.1).
+func (v *Voter) DropSender(r ids.ReplicaID) {
+	for op, e := range v.ops {
+		d, ok := e.copies[r]
+		if !ok {
+			continue
+		}
+		delete(e.copies, r)
+		e.counts[d]--
+		if e.counts[d] == 0 {
+			delete(e.counts, d)
+			delete(e.payloads, d)
+		}
+		if len(e.copies) == 0 {
+			delete(v.ops, op)
+		}
+	}
+}
+
+// gc bounds the decided-set memory: operation sequence numbers are
+// monotone per client group, so everything far below the latest decided
+// seq can be forgotten.
+func (v *Voter) gc(latest ids.OperationID) {
+	const window = 8192
+	if latest.Seq < window {
+		return
+	}
+	lo := v.loOp[latest.ClientGroup]
+	cut := latest.Seq - window
+	if cut <= lo {
+		return
+	}
+	for op := range v.decided {
+		if op.ClientGroup == latest.ClientGroup && op.Seq < cut {
+			delete(v.decided, op)
+		}
+	}
+	v.loOp[latest.ClientGroup] = cut
+}
+
+// String summarizes the voter for diagnostics.
+func (v *Voter) String() string {
+	return fmt.Sprintf("voter{pending=%d decided=%d}", len(v.ops), len(v.decided))
+}

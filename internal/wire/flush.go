@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"fmt"
+
+	"immune/internal/ids"
+)
+
+// Flush is the old-ring recovery message exchanged while a membership
+// change is forming. When the processor membership protocol learns (from
+// the Delivered fields of Membership messages) that a member is behind on
+// the old ring, up-to-date members multicast Flush messages carrying the
+// digest vouchers for the missing range, and re-multicast the missing
+// regular messages themselves. This lets a lagging member verify and
+// deliver the tail of the old ring before the new membership is installed,
+// providing Table 2's cross-configuration Reliable Delivery clause ("if p
+// originates m in membership M1, then q delivers m in M1").
+type Flush struct {
+	Sender    ids.ProcessorID
+	Ring      ids.RingID // the OLD ring being flushed
+	Delivered uint64     // sender's all-delivered-up-to on that ring
+	Digests   []DigestEntry
+	Signature []byte
+}
+
+// KindFlush tags a Flush message. Declared here (not in the Kind const
+// block) to keep the numeric values of the original kinds stable.
+const KindFlush Kind = 4
+
+func (f *Flush) marshalBody(w *writer) {
+	w.byte1(byte(KindFlush))
+	w.u32(uint32(f.Sender))
+	w.u32(uint32(f.Ring))
+	w.u64(f.Delivered)
+	w.u32(uint32(len(f.Digests)))
+	for _, e := range f.Digests {
+		w.u64(e.Seq)
+		w.digest(e.Digest)
+	}
+}
+
+// SignedPortion returns the bytes covered by the signature.
+func (f *Flush) SignedPortion() []byte {
+	var w writer
+	f.marshalBody(&w)
+	return w.buf
+}
+
+// Marshal encodes the message including its signature.
+func (f *Flush) Marshal() []byte {
+	var w writer
+	f.marshalBody(&w)
+	w.bytes(f.Signature)
+	return w.buf
+}
+
+// UnmarshalFlush decodes a flush payload.
+func UnmarshalFlush(payload []byte) (*Flush, error) {
+	r := reader{buf: payload}
+	if k := r.byte1(); Kind(k) != KindFlush {
+		return nil, fmt.Errorf("wire: kind %d is not a flush message", k)
+	}
+	f := &Flush{
+		Sender:    ids.ProcessorID(r.u32()),
+		Ring:      ids.RingID(r.u32()),
+		Delivered: r.u64(),
+	}
+	n := r.listLen()
+	if r.err == nil && n > 0 {
+		f.Digests = make([]DigestEntry, 0, n)
+		for i := 0; i < n; i++ {
+			f.Digests = append(f.Digests, DigestEntry{Seq: r.u64(), Digest: r.digest()})
+		}
+	}
+	f.Signature = r.bytes()
+	if len(f.Signature) == 0 {
+		f.Signature = nil
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+
+	"immune/internal/ids"
+)
+
+// MembershipKind distinguishes the phases of the processor membership
+// protocol's message exchange (§7.2).
+type MembershipKind byte
+
+const (
+	// MembershipPropose carries a processor's proposed new membership
+	// (its current view minus suspects).
+	MembershipPropose MembershipKind = iota + 1
+	// MembershipCommit announces that the sender has gathered matching
+	// proposals from every proposed member and is installing.
+	MembershipCommit
+)
+
+// String returns the phase name.
+func (k MembershipKind) String() string {
+	switch k {
+	case MembershipPropose:
+		return "propose"
+	case MembershipCommit:
+		return "commit"
+	default:
+		return fmt.Sprintf("MembershipKind(%d)", byte(k))
+	}
+}
+
+// Membership is a processor membership protocol message. The membership
+// protocol "exchanges information via special Membership messages, and
+// reaches agreement on and installs a new membership consisting of
+// apparently correct processors" (§7.2). Membership messages are signed at
+// sec.LevelSignatures so that a malicious processor cannot forge proposals
+// from correct processors.
+type Membership struct {
+	Sender    ids.ProcessorID
+	Kind      MembershipKind
+	Attempt   uint64           // monotone per-sender attempt number
+	InstallID ids.MembershipID // membership to be installed
+	NewRing   ids.RingID       // ring id the new membership will use
+	Delivered uint64           // sender's all-delivered-up-to on the old ring (flush barrier)
+	Members   []ids.ProcessorID
+	Suspects  []ids.ProcessorID
+	Signature []byte
+}
+
+func (m *Membership) marshalBody(w *writer) {
+	w.byte1(byte(KindMembership))
+	w.u32(uint32(m.Sender))
+	w.byte1(byte(m.Kind))
+	w.u64(m.Attempt)
+	w.u64(uint64(m.InstallID))
+	w.u32(uint32(m.NewRing))
+	w.u64(m.Delivered)
+	w.u32(uint32(len(m.Members)))
+	for _, p := range m.Members {
+		w.u32(uint32(p))
+	}
+	w.u32(uint32(len(m.Suspects)))
+	for _, p := range m.Suspects {
+		w.u32(uint32(p))
+	}
+}
+
+// SignedPortion returns the bytes covered by the signature.
+func (m *Membership) SignedPortion() []byte {
+	var w writer
+	m.marshalBody(&w)
+	return w.buf
+}
+
+// Marshal encodes the message including its signature.
+func (m *Membership) Marshal() []byte {
+	var w writer
+	m.marshalBody(&w)
+	w.bytes(m.Signature)
+	return w.buf
+}
+
+// UnmarshalMembership decodes a membership message payload.
+func UnmarshalMembership(payload []byte) (*Membership, error) {
+	r := reader{buf: payload}
+	if k := r.byte1(); Kind(k) != KindMembership {
+		return nil, fmt.Errorf("wire: kind %d is not a membership message", k)
+	}
+	m := &Membership{
+		Sender:    ids.ProcessorID(r.u32()),
+		Kind:      MembershipKind(r.byte1()),
+		Attempt:   r.u64(),
+		InstallID: ids.MembershipID(r.u64()),
+		NewRing:   ids.RingID(r.u32()),
+		Delivered: r.u64(),
+	}
+	nMem := r.listLen()
+	if r.err == nil && nMem > 0 {
+		m.Members = make([]ids.ProcessorID, 0, nMem)
+		for i := 0; i < nMem; i++ {
+			m.Members = append(m.Members, ids.ProcessorID(r.u32()))
+		}
+	}
+	nSus := r.listLen()
+	if r.err == nil && nSus > 0 {
+		m.Suspects = make([]ids.ProcessorID, 0, nSus)
+		for i := 0; i < nSus; i++ {
+			m.Suspects = append(m.Suspects, ids.ProcessorID(r.u32()))
+		}
+	}
+	m.Signature = r.bytes()
+	if len(m.Signature) == 0 {
+		m.Signature = nil
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if m.Kind != MembershipPropose && m.Kind != MembershipCommit {
+		return nil, fmt.Errorf("wire: invalid membership kind %d", m.Kind)
+	}
+	return m, nil
+}
+
+// SortProcessors sorts a processor list in place and returns it; membership
+// sets are kept canonically sorted so that set equality is byte equality of
+// the encoding.
+func SortProcessors(ps []ids.ProcessorID) []ids.ProcessorID {
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return ps
+}
+
+// SameMembers reports whether two canonical (sorted) member lists are equal.
+func SameMembers(a, b []ids.ProcessorID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

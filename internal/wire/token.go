@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"fmt"
+
+	"immune/internal/ids"
+	"immune/internal/sec"
+)
+
+// DigestEntry pairs a message sequence number with the digest of the
+// message bearing it, for the token's message digest list (Table 3,
+// Figure 6). A processor does not deliver any message that does not
+// correspond to a digest in the corresponding token (§7.1).
+type DigestEntry struct {
+	Seq    uint64
+	Digest [sec.DigestSize]byte
+}
+
+// RtgEntry records a retransmission guarantee: which processor has taken
+// responsibility for retransmitting which missing message. The rtg list is
+// one of the token fields required to cope with malicious faults (Table 3):
+// it lets the fault detector identify a processor that repeatedly promises
+// but fails to retransmit.
+type RtgEntry struct {
+	Seq           uint64
+	Retransmitter ids.ProcessorID
+}
+
+// Token is the ring token (Figure 6, Table 3). One token circulates per
+// ring configuration; holding it confers the right to originate regular
+// messages. Field groups by fault class (Table 3):
+//
+//   - message loss / receive omission / crash: Sender, Ring, Seq, Aru,
+//     RtrList
+//   - message corruption: + DigestList
+//   - malicious processors: + Signature, PrevTokenDigest, RtgList
+type Token struct {
+	Sender          ids.ProcessorID
+	Ring            ids.RingID
+	Visit           uint64          // monotone token visit counter; rejects stale/duplicate tokens
+	Seq             uint64          // highest sequence number assigned on this ring
+	Aru             uint64          // all-received-up-to: every processor has delivered <= Aru
+	AruSetter       ids.ProcessorID // processor that last lowered the aru (aru progress tracking)
+	RtrList         []uint64        // sequence numbers requested for retransmission
+	DigestList      []DigestEntry   // digests of messages originated by the token holder
+	PrevTokenDigest [sec.DigestSize]byte
+	RtgList         []RtgEntry
+	Signature       []byte // over SignedPortion(); empty below sec.LevelSignatures
+}
+
+// marshalBody encodes everything except the signature.
+func (t *Token) marshalBody(w *writer) {
+	w.byte1(byte(KindToken))
+	w.u32(uint32(t.Sender))
+	w.u32(uint32(t.Ring))
+	w.u64(t.Visit)
+	w.u64(t.Seq)
+	w.u64(t.Aru)
+	w.u32(uint32(t.AruSetter))
+	w.u32(uint32(len(t.RtrList)))
+	for _, s := range t.RtrList {
+		w.u64(s)
+	}
+	w.u32(uint32(len(t.DigestList)))
+	for _, e := range t.DigestList {
+		w.u64(e.Seq)
+		w.digest(e.Digest)
+	}
+	w.digest(t.PrevTokenDigest)
+	w.u32(uint32(len(t.RtgList)))
+	for _, e := range t.RtgList {
+		w.u64(e.Seq)
+		w.u32(uint32(e.Retransmitter))
+	}
+}
+
+// SignedPortion returns the bytes covered by the token signature: the
+// entire token except the signature field itself.
+func (t *Token) SignedPortion() []byte {
+	var w writer
+	t.marshalBody(&w)
+	return w.buf
+}
+
+// Marshal encodes the token including its signature.
+func (t *Token) Marshal() []byte {
+	var w writer
+	t.marshalBody(&w)
+	w.bytes(t.Signature)
+	return w.buf
+}
+
+// Digest computes the digest of the full token encoding; the next token
+// holder places it in its token's PrevTokenDigest field, chaining tokens so
+// that mutant tokens are detectable (§7.1).
+func (t *Token) Digest() [sec.DigestSize]byte {
+	return sec.Digest(t.Marshal())
+}
+
+// UnmarshalToken decodes a token payload.
+func UnmarshalToken(payload []byte) (*Token, error) {
+	r := reader{buf: payload}
+	if k := r.byte1(); Kind(k) != KindToken {
+		return nil, fmt.Errorf("wire: kind %d is not a token", k)
+	}
+	t := &Token{
+		Sender:    ids.ProcessorID(r.u32()),
+		Ring:      ids.RingID(r.u32()),
+		Visit:     r.u64(),
+		Seq:       r.u64(),
+		Aru:       r.u64(),
+		AruSetter: ids.ProcessorID(r.u32()),
+	}
+	nRtr := r.listLen()
+	if r.err == nil && nRtr > 0 {
+		t.RtrList = make([]uint64, 0, nRtr)
+		for i := 0; i < nRtr; i++ {
+			t.RtrList = append(t.RtrList, r.u64())
+		}
+	}
+	nDig := r.listLen()
+	if r.err == nil && nDig > 0 {
+		t.DigestList = make([]DigestEntry, 0, nDig)
+		for i := 0; i < nDig; i++ {
+			t.DigestList = append(t.DigestList, DigestEntry{Seq: r.u64(), Digest: r.digest()})
+		}
+	}
+	t.PrevTokenDigest = r.digest()
+	nRtg := r.listLen()
+	if r.err == nil && nRtg > 0 {
+		t.RtgList = make([]RtgEntry, 0, nRtg)
+		for i := 0; i < nRtg; i++ {
+			t.RtgList = append(t.RtgList, RtgEntry{
+				Seq:           r.u64(),
+				Retransmitter: ids.ProcessorID(r.u32()),
+			})
+		}
+	}
+	t.Signature = r.bytes()
+	if len(t.Signature) == 0 {
+		t.Signature = nil
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WellFormed performs the structural token checks the Byzantine fault
+// detector applies (§7.3: "performs the checking of tokens to determine if
+// they are of the proper form"): monotone fields, bounded and sorted
+// retransmission list, digest list sequence numbers within the assigned
+// range.
+func (t *Token) WellFormed() error {
+	if t.Aru > t.Seq {
+		return fmt.Errorf("token aru %d exceeds seq %d", t.Aru, t.Seq)
+	}
+	var prev uint64
+	for i, s := range t.RtrList {
+		if s > t.Seq {
+			return fmt.Errorf("rtr seq %d exceeds token seq %d", s, t.Seq)
+		}
+		if i > 0 && s <= prev {
+			return fmt.Errorf("rtr list not strictly increasing at %d", s)
+		}
+		prev = s
+	}
+	for _, e := range t.DigestList {
+		if e.Seq > t.Seq {
+			return fmt.Errorf("digest entry seq %d exceeds token seq %d", e.Seq, t.Seq)
+		}
+	}
+	for _, e := range t.RtgList {
+		if e.Seq > t.Seq {
+			return fmt.Errorf("rtg entry seq %d exceeds token seq %d", e.Seq, t.Seq)
+		}
+	}
+	return nil
+}

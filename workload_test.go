@@ -1,0 +1,83 @@
+package immune_test
+
+import (
+	"testing"
+
+	"immune"
+)
+
+func TestPacketSink(t *testing.T) {
+	s := immune.NewPacketSink()
+	if _, err := s.Invoke("push", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Invoke("push", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Received() != 2 {
+		t.Fatalf("received = %d", s.Received())
+	}
+	snap := s.Snapshot()
+	s2 := immune.NewPacketSink()
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Received() != 2 {
+		t.Fatalf("restored = %d", s2.Received())
+	}
+	if err := s2.Restore([]byte{1}); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestPacketPayload(t *testing.T) {
+	p := immune.PacketPayload(16)
+	if len(p) != 16 {
+		t.Fatalf("len = %d", len(p))
+	}
+	q := immune.PacketPayload(16)
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatal("payload not deterministic")
+		}
+	}
+	if len(immune.PacketPayload(0)) != 0 {
+		t.Fatal("zero-size payload")
+	}
+}
+
+func TestBaselineLoopback(t *testing.T) {
+	sink := immune.NewPacketSink()
+	b, err := immune.NewBaseline("sink", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	obj := b.Object("sink")
+	if err := obj.InvokeOneWay("push", immune.PacketPayload(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.Invoke("push", nil); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Received() != 2 {
+		t.Fatalf("received = %d", sink.Received())
+	}
+}
+
+func TestBaselineTCP(t *testing.T) {
+	sink := immune.NewPacketSink()
+	b, err := immune.NewBaselineTCP("sink", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := b.Object("sink").Invoke("push", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.Received() != 5 {
+		t.Fatalf("received = %d", sink.Received())
+	}
+}
