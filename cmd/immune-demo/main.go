@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"sync"
 	"time"
 
@@ -83,9 +84,11 @@ func main() {
 func run() error {
 	fmt.Println("== Immune survivability demo ==")
 	sys, err := immune.New(immune.Config{
-		Processors:     6,
-		Seed:           9,
-		SuspectTimeout: 40 * time.Millisecond,
+		Processors:      6,
+		Seed:            9,
+		SuspectTimeout:  40 * time.Millisecond,
+		AutoRecover:     true,
+		RecoveryBackoff: 25 * time.Millisecond,
 		OnMembershipChange: func(self immune.ProcessorID, inst immune.MembershipInstall) {
 			if self == 1 {
 				fmt.Printf("  [membership] installed %s on ring %s: %v\n",
@@ -100,23 +103,27 @@ func run() error {
 	defer sys.Stop()
 	fmt.Printf("6 processors up; fault budget %d\n", sys.MaxFaulty())
 
-	ledgers := map[immune.ProcessorID]*ledger{}
-	for pid := immune.ProcessorID(1); pid <= 3; pid++ {
-		p, err := sys.Processor(pid)
-		if err != nil {
-			return err
-		}
+	// The factory is called once per placement — first for the three
+	// initial hosts (P1..P3, in order), later by the recovery manager for
+	// each replacement — so created[1] is the servant living on P2.
+	var ledgerMu sync.Mutex
+	var created []*ledger
+	replicas, err := sys.HostGroup(srvGroup, key, 3, func() immune.Servant {
 		lg := &ledger{}
-		ledgers[pid] = lg
-		r, err := p.HostServer(srvGroup, key, lg)
-		if err != nil {
-			return err
-		}
+		ledgerMu.Lock()
+		created = append(created, lg)
+		ledgerMu.Unlock()
+		return lg
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range replicas {
 		if err := r.WaitActive(10 * time.Second); err != nil {
 			return err
 		}
 	}
-	fmt.Println("ledger replicated 3-way on P1..P3")
+	fmt.Println("ledger group registered at degree 3, replicated on P1..P3")
 
 	var clients []*immune.Client
 	for pid := immune.ProcessorID(4); pid <= 6; pid++ {
@@ -187,19 +194,16 @@ func run() error {
 	}
 	fmt.Printf("append(20) after crash: entries=%d sum=%d (service survived)\n", entries, sum)
 
-	fmt.Println("\n-- phase 2: reallocate a replacement replica to P4 (restores degree 3) --")
-	p4, err := sys.Processor(4)
-	if err != nil {
+	fmt.Println("\n-- phase 2: automatic recovery reallocates a replacement (restores degree 3) --")
+	if err := waitRecoveries(sys, 1, 30*time.Second); err != nil {
 		return err
 	}
-	replacement := &ledger{}
-	r, err := p4.HostServer(srvGroup, key, replacement)
-	if err != nil {
-		return err
+	for _, e := range recoveryLog(sys) {
+		fmt.Printf("  [recovery] %s %s on %s: %s\n", e.Kind, e.Group, e.Processor, e.Detail)
 	}
-	if err := r.WaitActive(20 * time.Second); err != nil {
-		return err
-	}
+	ledgerMu.Lock()
+	replacement := created[len(created)-1]
+	ledgerMu.Unlock()
 	replacement.mu.Lock()
 	fmt.Printf("replacement activated with transferred state: entries=%d sum=%d\n",
 		replacement.entries, replacement.sum)
@@ -212,9 +216,12 @@ func run() error {
 	fmt.Printf("append(1000) at restored degree 3: entries=%d sum=%d\n", entries, sum)
 
 	fmt.Println("\n-- phase 3: corrupt the ledger replica on P2 (2 of 3 replicas stay correct) --")
-	ledgers[2].mu.Lock()
-	ledgers[2].corrupt = true
-	ledgers[2].mu.Unlock()
+	ledgerMu.Lock()
+	p2Ledger := created[1]
+	ledgerMu.Unlock()
+	p2Ledger.mu.Lock()
+	p2Ledger.corrupt = true
+	p2Ledger.mu.Unlock()
 	deadline := time.Now().Add(20 * time.Second)
 	v := int64(100)
 	for time.Now().Before(deadline) {
@@ -232,11 +239,54 @@ func run() error {
 	fmt.Printf("voted answers stayed correct (entries=%d sum=%d); corrupt processor excluded\n",
 		entries, sum)
 
+	// The exclusion degraded the group again; the immune system heals it
+	// a second time without intervention.
+	if err := waitRecoveries(sys, 2, 30*time.Second); err != nil {
+		return err
+	}
+	fmt.Println("recovery restored degree 3 again after the value-fault exclusion")
+
 	p1, _ := sys.Processor(1)
 	fmt.Printf("\nfinal membership %v, ledger group %v\n",
 		p1.View().Members, p1.GroupMembers(srvGroup))
 	fmt.Printf("P1 manager stats: %+v\n", p1.ManagerStats())
+	fmt.Printf("final health: %+v\n", healthOf(sys))
 	return nil
+}
+
+// waitRecoveries blocks until the ledger group reports at least n completed
+// recoveries and is back at full strength.
+func waitRecoveries(sys *immune.System, n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		gh := healthOf(sys)
+		if gh.Recoveries >= uint64(n) && gh.Live == gh.Degree && !gh.Degraded {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("recovery %d never completed: %+v", n, healthOf(sys))
+}
+
+func healthOf(sys *immune.System) immune.GroupHealth {
+	for _, gh := range sys.Health().Groups {
+		if gh.Group == srvGroup {
+			return gh
+		}
+	}
+	return immune.GroupHealth{}
+}
+
+// recoveryLog returns the ledger group's recovery events in time order.
+func recoveryLog(sys *immune.System) []immune.RecoveryEvent {
+	var out []immune.RecoveryEvent
+	for _, e := range sys.Health().Events {
+		if e.Group == srvGroup {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
 }
 
 func waitMembers(sys *immune.System, want int, timeout time.Duration) error {

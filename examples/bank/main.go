@@ -90,9 +90,11 @@ func main() {
 
 func run() error {
 	sys, err := immune.New(immune.Config{
-		Processors:     6,
-		Seed:           2,
-		SuspectTimeout: 40 * time.Millisecond,
+		Processors:      6,
+		Seed:            2,
+		SuspectTimeout:  40 * time.Millisecond,
+		AutoRecover:     true,
+		RecoveryBackoff: 25 * time.Millisecond,
 	})
 	if err != nil {
 		return err
@@ -100,21 +102,23 @@ func run() error {
 	sys.Start()
 	defer sys.Stop()
 
-	// Replicated account on P1..P3; keep handles on the servants so we
-	// can corrupt one later.
-	servants := map[immune.ProcessorID]*accountServant{}
-	for pid := immune.ProcessorID(1); pid <= 3; pid++ {
-		p, err := sys.Processor(pid)
-		if err != nil {
-			return err
-		}
+	// Replicated account, registered at degree 3 so the recovery manager
+	// maintains it (initial hosts P1..P3, in order). Keep handles on the
+	// created servants so we can corrupt one later.
+	var servantMu sync.Mutex
+	var servants []*accountServant
+	replicas, err := sys.HostGroup(accountGroup, accountKey, 3, func() immune.Servant {
 		sv := &accountServant{}
-		servants[pid] = sv
-		replica, err := p.HostServer(accountGroup, accountKey, sv)
-		if err != nil {
-			return err
-		}
-		if err := replica.WaitActive(10 * time.Second); err != nil {
+		servantMu.Lock()
+		servants = append(servants, sv)
+		servantMu.Unlock()
+		return sv
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range replicas {
+		if err := r.WaitActive(10 * time.Second); err != nil {
 			return err
 		}
 	}
@@ -170,10 +174,14 @@ func run() error {
 	}
 	fmt.Printf("deposit 100 -> voted balances %v\n", balances)
 
-	// Corrupt the replica on P2: from now on it reports balances ×1000.
-	servants[2].mu.Lock()
-	servants[2].corrupt = true
-	servants[2].mu.Unlock()
+	// Corrupt the replica on P2 (the second servant created): from now on
+	// it reports balances ×1000.
+	servantMu.Lock()
+	p2Servant := servants[1]
+	servantMu.Unlock()
+	p2Servant.mu.Lock()
+	p2Servant.corrupt = true
+	p2Servant.mu.Unlock()
 	fmt.Println("replica on P2 is now corrupted (reports balance*1000)")
 
 	balances, err = call("balance", 0)
@@ -208,10 +216,31 @@ func run() error {
 		time.Sleep(20 * time.Millisecond)
 	}
 
+	// The exclusion left the account group one replica short; the
+	// recovery manager re-hosts it (with state transfer) automatically.
+	recovered := time.Now().Add(30 * time.Second)
+	for time.Now().Before(recovered) {
+		gh := accountHealth(sys)
+		if gh.Recoveries >= 1 && gh.Live == gh.Degree && !gh.Degraded {
+			fmt.Printf("recovery restored degree %d: health %+v\n", gh.Degree, gh)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
 	balances, err = call("withdraw", 30)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("withdraw 30 after exclusion -> voted balances %v\n", balances)
 	return nil
+}
+
+func accountHealth(sys *immune.System) immune.GroupHealth {
+	for _, gh := range sys.Health().Groups {
+		if gh.Group == accountGroup {
+			return gh
+		}
+	}
+	return immune.GroupHealth{}
 }

@@ -48,6 +48,7 @@ import (
 	"immune/internal/membership"
 	"immune/internal/netsim"
 	"immune/internal/orb"
+	"immune/internal/recovery"
 	"immune/internal/replication"
 	"immune/internal/ring"
 	"immune/internal/sec"
@@ -137,6 +138,17 @@ type Config struct {
 	Plan FaultPlan
 	// CallTimeout bounds replicated two-way invocations; zero means 10s.
 	CallTimeout time.Duration
+	// InvokeRetries is how many times a timed-out two-way invocation is
+	// re-sent within its deadline. Re-sends are safe: voters detect the
+	// duplicate invocation identifier and discard it. Zero means none.
+	InvokeRetries int
+	// AutoRecover enables the recovery manager: object groups hosted via
+	// HostGroup are re-hosted automatically when processor exclusions
+	// drop them below their configured replication degree (§3.1).
+	AutoRecover bool
+	// RecoveryBackoff is the base retry backoff after a failed recovery
+	// placement (capped exponential with jitter); zero means 50ms.
+	RecoveryBackoff time.Duration
 	// SuspectTimeout is the Byzantine fault detector's liveness timeout;
 	// zero means 50ms.
 	SuspectTimeout time.Duration
@@ -171,6 +183,9 @@ func New(cfg Config) (*System, error) {
 		NetJitter:          cfg.NetJitter,
 		Plan:               cfg.Plan,
 		CallTimeout:        cfg.CallTimeout,
+		InvokeRetries:      cfg.InvokeRetries,
+		AutoRecover:        cfg.AutoRecover,
+		RecoveryBackoff:    cfg.RecoveryBackoff,
 		SuspectTimeout:     cfg.SuspectTimeout,
 		IdleDelay:          cfg.IdleDelay,
 		PollInterval:       cfg.PollInterval,
@@ -213,6 +228,86 @@ func (s *System) ReattachProcessor(id ProcessorID) { s.inner.ReattachProcessor(i
 
 // NetStats returns simulated network counters.
 func (s *System) NetStats() NetStats { return s.inner.NetStats() }
+
+// HostGroup hosts a server object group at the given replication degree:
+// one replica per processor (§3.1), created by factory on each host. With
+// no explicit hosts the first degree processors are used. Unlike
+// per-processor HostServer, the group's spec is recorded, so under
+// Config.AutoRecover replicas lost to processor exclusions are re-hosted
+// automatically — the replacement receives its state via majority-voted
+// state transfer from the surviving replicas, not from the factory.
+func (s *System) HostGroup(g GroupID, objectKey string, degree int,
+	factory func() Servant, on ...ProcessorID) ([]*Replica, error) {
+	handles, err := s.inner.HostGroup(g, objectKey, degree, factory, on...)
+	if err != nil {
+		return nil, err
+	}
+	replicas := make([]*Replica, len(handles))
+	for i, h := range handles {
+		replicas[i] = &Replica{h: h}
+	}
+	return replicas, nil
+}
+
+// Health snapshots the processor membership, per-group degree accounting
+// (degraded/critical flags against the ⌈(r+1)/2⌉ threshold of §3.1), and
+// the recovery event history, newest first.
+func (s *System) Health() Health { return s.inner.Health() }
+
+// WaitGroupActive blocks until group g has at least want active replicas
+// or the timeout expires.
+func (s *System) WaitGroupActive(g GroupID, want int, timeout time.Duration) error {
+	return s.inner.WaitGroupActive(g, want, timeout)
+}
+
+// Health reporting types (see internal/recovery).
+type (
+	// Health is a point-in-time snapshot of system survivability.
+	Health = recovery.Health
+	// GroupHealth is the per-object-group slice of a Health snapshot.
+	GroupHealth = recovery.GroupHealth
+	// RecoveryEvent is one entry in the recovery event history.
+	RecoveryEvent = recovery.Event
+	// RecoveryEventKind classifies a RecoveryEvent.
+	RecoveryEventKind = recovery.EventKind
+)
+
+// Recovery event kinds.
+const (
+	// EventDegraded: a group dropped below its configured degree.
+	EventDegraded = recovery.EventDegraded
+	// EventCritical: live replicas fell below ⌈(r+1)/2⌉ — majority
+	// voting can no longer mask a value fault (§3.1).
+	EventCritical = recovery.EventCritical
+	// EventPlacementStarted: a replacement replica is being placed.
+	EventPlacementStarted = recovery.EventPlacementStarted
+	// EventPlacementFailed: a placement attempt failed; it will be
+	// retried with backoff on another processor.
+	EventPlacementFailed = recovery.EventPlacementFailed
+	// EventReplicaRestored: a replacement activated with transferred
+	// state.
+	EventReplicaRestored = recovery.EventReplicaRestored
+	// EventRecovered: the group is back at full configured degree.
+	EventRecovered = recovery.EventRecovered
+)
+
+// Typed invocation failures, matchable with errors.Is through the public
+// Object API.
+var (
+	// ErrTimeout: the invocation deadline expired with the group at
+	// healthy strength — likely transient.
+	ErrTimeout = replication.ErrTimeout
+	// ErrNotActive: the local replica is not (yet, or no longer) an
+	// admitted group member.
+	ErrNotActive = replication.ErrNotActive
+	// ErrQuorumLost: the local processor was excluded from the
+	// membership, or the target group has no members.
+	ErrQuorumLost = replication.ErrQuorumLost
+	// ErrGroupDegraded: the target group's live membership is below
+	// ⌈(r+1)/2⌉ of its high-water degree — a voted reply cannot be
+	// formed until recovery restores it (§3.1).
+	ErrGroupDegraded = replication.ErrGroupDegraded
+)
 
 // MaxFaultyProcessors returns the fault budget for an n-processor system
 // without building one.
@@ -317,6 +412,14 @@ func (o *Object) Key() string { return o.ref.Key() }
 // args, returning the majority-voted CDR-encoded result.
 func (o *Object) Invoke(op string, args []byte) ([]byte, error) {
 	return o.ref.Invoke(op, args)
+}
+
+// InvokeDeadline is Invoke with an explicit per-call deadline: the
+// Replication Manager splits the remaining time across the configured
+// retries and gives up when the deadline expires. A zero deadline means
+// now+CallTimeout.
+func (o *Object) InvokeDeadline(op string, args []byte, deadline time.Time) ([]byte, error) {
+	return o.ref.InvokeDeadline(op, args, deadline)
 }
 
 // InvokeOneWay performs a replicated one-way invocation (no reply).

@@ -19,6 +19,7 @@ import (
 	"immune/internal/membership"
 	"immune/internal/netsim"
 	"immune/internal/orb"
+	"immune/internal/recovery"
 	"immune/internal/replication"
 	"immune/internal/ring"
 	"immune/internal/sec"
@@ -47,6 +48,16 @@ type Config struct {
 	Plan netsim.FaultPlan
 	// CallTimeout bounds replicated two-way invocations; 0 means 10s.
 	CallTimeout time.Duration
+	// InvokeRetries is how many idempotent re-sends a two-way invocation
+	// may attempt within its deadline; 0 means none.
+	InvokeRetries int
+	// AutoRecover enables the recovery manager: groups hosted through
+	// HostGroup are automatically restored to their configured degree
+	// when processor exclusions reduce them (§3.1 reallocation).
+	AutoRecover bool
+	// RecoveryBackoff is the base retry backoff after a failed
+	// placement; 0 means 50ms.
+	RecoveryBackoff time.Duration
 	// SuspectTimeout is the fault detector's liveness timeout; 0 means
 	// 50ms.
 	SuspectTimeout time.Duration
@@ -82,10 +93,21 @@ type System struct {
 	net   *netsim.Network
 	procs map[ids.ProcessorID]*Processor
 	order []ids.ProcessorID
+	rec   *recovery.Manager
 
 	mu      sync.Mutex
 	started bool
 	stopped bool
+	specs   map[ids.ObjectGroupID]*groupSpec
+}
+
+// groupSpec records how to re-create a replica of a group hosted through
+// HostGroup: the recovery manager re-hosts from a fresh servant (state
+// arrives by majority-voted transfer, not from the factory).
+type groupSpec struct {
+	key     string
+	degree  int
+	factory func() orb.Servant
 }
 
 // Processor is one simulated host: its protocol stack, Replication
@@ -121,6 +143,7 @@ func NewSystem(cfg Config) (*System, error) {
 			Seed:    cfg.Seed,
 		}),
 		procs: make(map[ids.ProcessorID]*Processor, cfg.Processors),
+		specs: make(map[ids.ObjectGroupID]*groupSpec),
 	}
 
 	members := make([]ids.ProcessorID, cfg.Processors)
@@ -167,7 +190,8 @@ func NewSystem(cfg Config) (*System, error) {
 				proc.mgr.HandleDelivery(d.Payload)
 			},
 			OnMembershipChange: func(inst membership.Install) {
-				proc.mgr.OnProcessorMembershipChange(inst.Members)
+				proc.mgr.OnMembershipInstall(uint64(inst.ID), inst.Members)
+				s.rec.Kick()
 				if cfg.OnMembershipChange != nil {
 					cfg.OnMembershipChange(p, inst)
 				}
@@ -182,6 +206,7 @@ func NewSystem(cfg Config) (*System, error) {
 			Stack:       stack,
 			Processors:  cfg.Processors,
 			CallTimeout: cfg.CallTimeout,
+			Retries:     cfg.InvokeRetries,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: manager for %s: %w", p, err)
@@ -189,7 +214,121 @@ func NewSystem(cfg Config) (*System, error) {
 		proc.mgr = mgr
 		s.procs[p] = proc
 	}
+
+	// The recovery manager always exists (it backs Health); its
+	// reconciliation loop runs only when AutoRecover is set.
+	rec, err := recovery.New(recovery.Config{
+		Cluster: clusterAdapter{s: s},
+		Backoff: cfg.RecoveryBackoff,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: recovery: %w", err)
+	}
+	s.rec = rec
 	return s, nil
+}
+
+// reference returns the processor holding the authoritative object-group
+// directory: a synced member with the newest installed view (largest
+// install, then largest membership — a detached processor's singleton
+// view loses — then lowest identifier). Total order makes every synced
+// directory at the same install identical, so any such member serves.
+func (s *System) reference() *Processor {
+	var best *Processor
+	var bestInst membership.Install
+	for _, id := range s.order {
+		p := s.procs[id]
+		if !p.mgr.Synced() {
+			continue
+		}
+		inst := p.stack.View()
+		if best == nil || inst.ID > bestInst.ID ||
+			(inst.ID == bestInst.ID && len(inst.Members) > len(bestInst.Members)) {
+			best, bestInst = p, inst
+		}
+	}
+	return best
+}
+
+// clusterAdapter exposes the System to the recovery manager.
+type clusterAdapter struct{ s *System }
+
+var _ recovery.Cluster = clusterAdapter{}
+
+func (c clusterAdapter) View() []ids.ProcessorID {
+	if ref := c.s.reference(); ref != nil {
+		return ref.stack.View().Members
+	}
+	return nil
+}
+
+func (c clusterAdapter) Groups() []ids.ObjectGroupID {
+	if ref := c.s.reference(); ref != nil {
+		return ref.mgr.Directory().Groups()
+	}
+	return nil
+}
+
+func (c clusterAdapter) GroupHosts(g ids.ObjectGroupID) []ids.ProcessorID {
+	ref := c.s.reference()
+	if ref == nil {
+		return nil
+	}
+	members := ref.mgr.Directory().Members(g)
+	hosts := make([]ids.ProcessorID, 0, len(members))
+	for _, r := range members {
+		hosts = append(hosts, r.Processor)
+	}
+	return hosts
+}
+
+func (c clusterAdapter) GroupDegreeHW(g ids.ObjectGroupID) int {
+	if ref := c.s.reference(); ref != nil {
+		return ref.mgr.GroupDegreeHW(g)
+	}
+	return 0
+}
+
+func (c clusterAdapter) Load(p ids.ProcessorID) int {
+	ref := c.s.reference()
+	if ref == nil {
+		return 0
+	}
+	dir := ref.mgr.Directory()
+	load := 0
+	for _, g := range dir.Groups() {
+		if dir.Contains(ids.ReplicaID{Group: g, Processor: p}) {
+			load++
+		}
+	}
+	return load
+}
+
+func (c clusterAdapter) Ready(p ids.ProcessorID) bool {
+	proc, ok := c.s.procs[p]
+	return ok && proc.mgr.Synced()
+}
+
+func (c clusterAdapter) Place(p ids.ProcessorID, g ids.ObjectGroupID) (recovery.Placement, error) {
+	proc, ok := c.s.procs[p]
+	if !ok {
+		return nil, fmt.Errorf("core: no processor %s", p)
+	}
+	c.s.mu.Lock()
+	spec := c.s.specs[g]
+	c.s.mu.Unlock()
+	if spec == nil {
+		return nil, fmt.Errorf("core: no spec for group %s", g)
+	}
+	return proc.mgr.HostReplica(g, spec.key, spec.factory())
+}
+
+func (c clusterAdapter) Evict(g ids.ObjectGroupID, p ids.ProcessorID) error {
+	ref := c.s.reference()
+	if ref == nil {
+		return fmt.Errorf("core: no synced processor to evict through")
+	}
+	return ref.mgr.EvictReplica(ids.ReplicaID{Group: g, Processor: p})
 }
 
 // Start launches every processor's protocol stack.
@@ -203,6 +342,9 @@ func (s *System) Start() {
 	for _, p := range s.order {
 		s.procs[p].stack.Start()
 	}
+	if s.cfg.AutoRecover {
+		s.rec.Start()
+	}
 }
 
 // Stop shuts the system down.
@@ -214,6 +356,7 @@ func (s *System) Stop() {
 	}
 	s.stopped = true
 	s.mu.Unlock()
+	s.rec.Stop() // no placements during teardown
 	for _, p := range s.order {
 		s.procs[p].stack.Stop()
 	}
@@ -252,6 +395,69 @@ func (s *System) ReattachProcessor(id ids.ProcessorID) {
 
 // NetStats returns the simulated network's counters.
 func (s *System) NetStats() netsim.Stats { return s.net.Stats() }
+
+// HostGroup hosts a server object group at the given replication degree:
+// one replica per processor (§3.1), created by factory on each host. With
+// no explicit hosts the first degree processors are used. The spec is
+// recorded so that, under AutoRecover, replicas lost to processor
+// exclusions are re-hosted automatically (state reaches the replacement
+// via majority-voted state transfer, not the factory).
+func (s *System) HostGroup(g ids.ObjectGroupID, objectKey string, degree int,
+	factory func() orb.Servant, on ...ids.ProcessorID) ([]*replication.Handle, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("core: servant factory required")
+	}
+	if degree <= 0 || degree > len(s.order) {
+		return nil, fmt.Errorf("core: degree %d with %d processors", degree, len(s.order))
+	}
+	hosts := on
+	if len(hosts) == 0 {
+		hosts = s.order[:degree]
+	}
+	if len(hosts) != degree {
+		return nil, fmt.Errorf("core: %d hosts for degree %d", len(hosts), degree)
+	}
+	s.mu.Lock()
+	if _, dup := s.specs[g]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: group %s already hosted", g)
+	}
+	s.specs[g] = &groupSpec{key: objectKey, degree: degree, factory: factory}
+	s.mu.Unlock()
+	if err := s.rec.Register(g, degree); err != nil {
+		return nil, err
+	}
+	handles := make([]*replication.Handle, 0, degree)
+	for _, p := range hosts {
+		proc, ok := s.procs[p]
+		if !ok {
+			return nil, fmt.Errorf("core: no processor %s", p)
+		}
+		h, err := proc.mgr.HostReplica(g, objectKey, factory())
+		if err != nil {
+			return nil, err
+		}
+		handles = append(handles, h)
+	}
+	return handles, nil
+}
+
+// Health snapshots the membership, per-group degree accounting, and the
+// recovery event history.
+func (s *System) Health() recovery.Health { return s.rec.Health() }
+
+// WaitGroupActive blocks until the group has at least want active
+// replicas (in the authoritative directory) or the timeout expires.
+func (s *System) WaitGroupActive(g ids.ObjectGroupID, want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if ref := s.reference(); ref != nil && ref.mgr.ActiveCount(g) >= want {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("core: group %s below %d active replicas after %v", g, want, timeout)
+}
 
 // ID returns the processor's identifier.
 func (p *Processor) ID() ids.ProcessorID { return p.id }

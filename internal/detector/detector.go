@@ -84,10 +84,18 @@ func (r Reason) String() string {
 }
 
 // sticky reports whether a suspicion with this reason is permanent.
-// Behavioural evidence is permanent; timeout-based suspicion can be
-// cleared by renewed activity (that is what makes Eventual Strong Accuracy
-// achievable in an asynchronous system with conservative timeouts).
-func (r Reason) sticky() bool { return r != ReasonSilent && r != ReasonUnresponsive }
+// Locally verified behavioural evidence is permanent; timeout-based
+// suspicion can be cleared by renewed activity (that is what makes
+// Eventual Strong Accuracy achievable in an asynchronous system with
+// conservative timeouts). A corroborated suspicion is also cleared on
+// view installation: the gossip carries no fault class, so it may relay
+// mere silence — enough to exclude the processor from the next view, but
+// a repaired processor must remain readmittable (Eventual Inclusion,
+// Table 4). A truly Byzantine processor re-offends and is re-excluded on
+// local evidence.
+func (r Reason) sticky() bool {
+	return r != ReasonSilent && r != ReasonUnresponsive && r != ReasonCorroborated
+}
 
 // Config parameterizes a detector.
 type Config struct {

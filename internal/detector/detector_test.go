@@ -208,6 +208,28 @@ func TestAdoptSuspicion(t *testing.T) {
 	}
 }
 
+func TestCorroboratedSuspicionClearedByInstall(t *testing.T) {
+	// A corroborated suspicion relays no fault class — it may be mere
+	// silence — so it must not outlive the install that acted on it, or a
+	// repaired processor could never rejoin (Eventual Inclusion, Table 4).
+	c := &fakeClock{t: time.Unix(0, 0)}
+	d := newTestDetector(1, c)
+	d.AdoptSuspicion(4, ReasonCorroborated)
+	if !d.Suspected(4) {
+		t.Fatal("corroborated suspicion not recorded")
+	}
+	d.SetView([]ids.ProcessorID{1, 2, 3})
+	if d.Suspected(4) {
+		t.Fatal("corroborated suspicion survived the install")
+	}
+	// Locally verified Byzantine evidence does survive.
+	d.AdoptSuspicion(5, ReasonMutantToken)
+	d.SetView([]ids.ProcessorID{1, 2, 3})
+	if !d.Suspected(5) {
+		t.Fatal("mutant-token suspicion cleared by install")
+	}
+}
+
 func TestRepeatedStallWalksRing(t *testing.T) {
 	// If the rotation stays stalled, successive timeouts implicate the
 	// next processor along, never self.

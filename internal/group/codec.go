@@ -36,6 +36,11 @@ const (
 	// KindState carries a state snapshot for a newly joined replica
 	// (replica reallocation, §3.1); addressed to the joining group.
 	KindState
+	// KindDirectorySync carries a Replication Manager's serialized
+	// object-group directory, multicast by continuing members at a
+	// membership install so that a rejoining processor can rebuild the
+	// directory state it missed while excluded.
+	KindDirectorySync
 )
 
 // String returns the kind name.
@@ -53,6 +58,8 @@ func (k Kind) String() string {
 		return "value-fault-vote"
 	case KindState:
 		return "state"
+	case KindDirectorySync:
+		return "directory-sync"
 	default:
 		return fmt.Sprintf("group.Kind(%d)", byte(k))
 	}
@@ -150,7 +157,7 @@ func Unmarshal(data []byte) (*Message, error) {
 	if r.off != len(data) {
 		return nil, fmt.Errorf("group: %d trailing bytes", len(data)-r.off)
 	}
-	if m.Kind < KindInvocation || m.Kind > KindState {
+	if m.Kind < KindInvocation || m.Kind > KindDirectorySync {
 		return nil, fmt.Errorf("group: unknown kind %d", m.Kind)
 	}
 	return m, nil

@@ -1,0 +1,190 @@
+package group
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"immune/internal/ids"
+	"immune/internal/sec"
+)
+
+// SyncState is a Replication Manager's serialized directory state,
+// carried in the payload of a KindDirectorySync message. Continuing
+// members multicast it at a membership install; a rejoining processor
+// applies the first dump matching the install at which it rejoined, then
+// replays the deliveries it buffered since that install. Because the dump
+// is captured inside the membership-change notification — after the old
+// ring's deliveries and before any new-ring delivery — the dump plus the
+// replayed tail reconstructs exactly the state every continuing member
+// holds at the dump's total-order position.
+type SyncState struct {
+	InstallID uint64 // membership install this dump was captured at
+	Groups    []SyncGroup
+	Pending   []SyncPending
+}
+
+// SyncGroup is one object group's membership in a SyncState.
+type SyncGroup struct {
+	ID       ids.ObjectGroupID
+	JoinSeq  uint64 // join marker counter
+	DegreeHW uint32 // high-water degree
+	Members  []SyncMember
+}
+
+// SyncMember is one replica's globally consistent role and activation.
+type SyncMember struct {
+	Replica ids.ReplicaID
+	Server  bool
+	Active  bool
+}
+
+// SyncPending is an in-flight state transfer at the dump position.
+type SyncPending struct {
+	Joiner    ids.ReplicaID
+	Group     ids.ObjectGroupID
+	Marker    uint64
+	Providers []ids.ReplicaID
+	Got       []ids.ReplicaID
+	Snaps     []SyncSnap
+}
+
+// SyncSnap is one tallied snapshot value in an in-flight state transfer.
+type SyncSnap struct {
+	Digest  [sec.DigestSize]byte
+	Count   uint32
+	Payload []byte
+}
+
+const maxSyncList = 1 << 20
+
+// Marshal encodes the sync state.
+func (s *SyncState) Marshal() []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint64(b, s.InstallID)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Groups)))
+	for _, g := range s.Groups {
+		b = binary.LittleEndian.AppendUint32(b, uint32(g.ID))
+		b = binary.LittleEndian.AppendUint64(b, g.JoinSeq)
+		b = binary.LittleEndian.AppendUint32(b, g.DegreeHW)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(g.Members)))
+		for _, m := range g.Members {
+			b = appendReplica(b, m.Replica)
+			b = append(b, boolByte(m.Server), boolByte(m.Active))
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Pending)))
+	for _, p := range s.Pending {
+		b = appendReplica(b, p.Joiner)
+		b = binary.LittleEndian.AppendUint32(b, uint32(p.Group))
+		b = binary.LittleEndian.AppendUint64(b, p.Marker)
+		b = appendReplicaList(b, p.Providers)
+		b = appendReplicaList(b, p.Got)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(p.Snaps)))
+		for _, sn := range p.Snaps {
+			b = append(b, sn.Digest[:]...)
+			b = binary.LittleEndian.AppendUint32(b, sn.Count)
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(sn.Payload)))
+			b = append(b, sn.Payload...)
+		}
+	}
+	return b
+}
+
+// UnmarshalSyncState decodes a sync state payload.
+func UnmarshalSyncState(data []byte) (*SyncState, error) {
+	r := &byteReader{buf: data}
+	s := &SyncState{InstallID: r.u64()}
+	ng := int(r.u32())
+	if r.err == nil && (ng < 0 || ng > maxSyncList) {
+		return nil, fmt.Errorf("group: sync with %d groups", ng)
+	}
+	for i := 0; i < ng && r.err == nil; i++ {
+		g := SyncGroup{
+			ID:       ids.ObjectGroupID(r.u32()),
+			JoinSeq:  r.u64(),
+			DegreeHW: r.u32(),
+		}
+		nm := int(r.u32())
+		if r.err == nil && (nm < 0 || nm > maxSyncList) {
+			return nil, fmt.Errorf("group: sync group with %d members", nm)
+		}
+		for j := 0; j < nm && r.err == nil; j++ {
+			g.Members = append(g.Members, SyncMember{
+				Replica: readReplica(r),
+				Server:  r.u8() == 1,
+				Active:  r.u8() == 1,
+			})
+		}
+		s.Groups = append(s.Groups, g)
+	}
+	np := int(r.u32())
+	if r.err == nil && (np < 0 || np > maxSyncList) {
+		return nil, fmt.Errorf("group: sync with %d pending transfers", np)
+	}
+	for i := 0; i < np && r.err == nil; i++ {
+		p := SyncPending{
+			Joiner: readReplica(r),
+			Group:  ids.ObjectGroupID(r.u32()),
+			Marker: r.u64(),
+		}
+		p.Providers = readReplicaList(r)
+		p.Got = readReplicaList(r)
+		ns := int(r.u32())
+		if r.err == nil && (ns < 0 || ns > maxSyncList) {
+			return nil, fmt.Errorf("group: sync transfer with %d snapshots", ns)
+		}
+		for j := 0; j < ns && r.err == nil; j++ {
+			sn := SyncSnap{Digest: r.digest(), Count: r.u32()}
+			sn.Payload = r.bytes()
+			p.Snaps = append(p.Snaps, sn)
+		}
+		s.Pending = append(s.Pending, p)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("group: %d trailing sync bytes", len(data)-r.off)
+	}
+	return s, nil
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func appendReplica(b []byte, r ids.ReplicaID) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Group))
+	return binary.LittleEndian.AppendUint32(b, uint32(r.Processor))
+}
+
+func readReplica(r *byteReader) ids.ReplicaID {
+	return ids.ReplicaID{
+		Group:     ids.ObjectGroupID(r.u32()),
+		Processor: ids.ProcessorID(r.u32()),
+	}
+}
+
+func appendReplicaList(b []byte, rs []ids.ReplicaID) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(rs)))
+	for _, r := range rs {
+		b = appendReplica(b, r)
+	}
+	return b
+}
+
+func readReplicaList(r *byteReader) []ids.ReplicaID {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > maxSyncList {
+		r.fail()
+		return nil
+	}
+	out := make([]ids.ReplicaID, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, readReplica(r))
+	}
+	return out
+}

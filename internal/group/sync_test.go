@@ -1,0 +1,86 @@
+package group
+
+import (
+	"reflect"
+	"testing"
+
+	"immune/internal/ids"
+	"immune/internal/sec"
+)
+
+func TestSyncStateRoundTrip(t *testing.T) {
+	s := &SyncState{
+		InstallID: 42,
+		Groups: []SyncGroup{
+			{
+				ID: 5, JoinSeq: 7, DegreeHW: 3,
+				Members: []SyncMember{
+					{Replica: ids.ReplicaID{Group: 5, Processor: 1}, Server: true, Active: true},
+					{Replica: ids.ReplicaID{Group: 5, Processor: 2}, Server: true, Active: false},
+				},
+			},
+			{ID: 9, JoinSeq: 0, DegreeHW: 0}, // empty group entry
+		},
+		Pending: []SyncPending{
+			{
+				Joiner: ids.ReplicaID{Group: 5, Processor: 3},
+				Group:  5, Marker: 7,
+				Providers: []ids.ReplicaID{{Group: 5, Processor: 1}, {Group: 5, Processor: 2}},
+				Got:       []ids.ReplicaID{{Group: 5, Processor: 1}},
+				Snaps: []SyncSnap{
+					{Digest: [sec.DigestSize]byte{1, 2, 3}, Count: 1, Payload: []byte("snap")},
+				},
+			},
+		},
+	}
+	got, err := UnmarshalSyncState(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestSyncStateEmptyRoundTrip(t *testing.T) {
+	s := &SyncState{InstallID: 1}
+	got, err := UnmarshalSyncState(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.InstallID != 1 || len(got.Groups) != 0 || len(got.Pending) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSyncStateRejectsMalformed(t *testing.T) {
+	s := &SyncState{InstallID: 3, Groups: []SyncGroup{{ID: 1, Members: []SyncMember{
+		{Replica: ids.ReplicaID{Group: 1, Processor: 1}},
+	}}}}
+	raw := s.Marshal()
+	// Truncations never panic and never round-trip.
+	for n := 0; n < len(raw); n++ {
+		if _, err := UnmarshalSyncState(raw[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Trailing bytes are rejected.
+	if _, err := UnmarshalSyncState(append(raw, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestDirectorySyncKind(t *testing.T) {
+	if KindDirectorySync.String() != "directory-sync" {
+		t.Fatalf("String() = %q", KindDirectorySync.String())
+	}
+	m := Message{Kind: KindDirectorySync, Dest: ids.BaseGroup,
+		Sender: ids.ReplicaID{Group: ids.BaseGroup, Processor: 2}, Payload: []byte("dump")}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindDirectorySync || string(got.Payload) != "dump" {
+		t.Fatalf("got %+v", got)
+	}
+}

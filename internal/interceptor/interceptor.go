@@ -9,6 +9,7 @@ package interceptor
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"immune/internal/ids"
 	"immune/internal/iiop"
@@ -24,7 +25,13 @@ type Invoker interface {
 	InvokeOneWay(target ids.ObjectGroupID, iiopRequest []byte) error
 }
 
+// DeadlineInvoker is the optional per-call-deadline extension of Invoker.
+type DeadlineInvoker interface {
+	InvokeDeadline(target ids.ObjectGroupID, iiopRequest []byte, deadline time.Time) ([]byte, error)
+}
+
 var _ Invoker = (*replication.Handle)(nil)
+var _ DeadlineInvoker = (*replication.Handle)(nil)
 
 // Interceptor diverts a client's outgoing IIOP requests into the local
 // Replication Manager, which multicasts them to the target server object
@@ -37,6 +44,7 @@ type Interceptor struct {
 }
 
 var _ orb.Transport = (*Interceptor)(nil)
+var _ orb.DeadlineTransport = (*Interceptor)(nil)
 
 // New creates an interceptor sending on behalf of the given local client
 // replica.
@@ -67,8 +75,18 @@ func (i *Interceptor) Resolve(objectKey string) (ids.ObjectGroupID, bool) {
 
 // Submit implements orb.Transport: the interception point. The marshaled
 // IIOP request — unchanged — is handed to the Replication Manager for
-// secure reliable totally ordered multicast to the target group.
+// secure reliable totally ordered multicast to the target group. Two-way
+// submission blocks until the majority-voted reply or a typed failure
+// (the Replication Manager enforces the call deadline); infrastructure
+// failures are returned as errors so replication.ErrTimeout and friends
+// stay matchable with errors.Is through the stub.
 func (i *Interceptor) Submit(request []byte, oneway bool) (<-chan []byte, error) {
+	return i.SubmitDeadline(request, oneway, time.Time{})
+}
+
+// SubmitDeadline implements orb.DeadlineTransport: Submit with an
+// explicit per-call deadline (zero means the manager's CallTimeout).
+func (i *Interceptor) SubmitDeadline(request []byte, oneway bool, deadline time.Time) (<-chan []byte, error) {
 	msg, err := iiop.Parse(request)
 	if err != nil || msg.Request == nil {
 		return nil, fmt.Errorf("interceptor: not an IIOP request: %v", err)
@@ -84,22 +102,16 @@ func (i *Interceptor) Submit(request []byte, oneway bool) (<-chan []byte, error)
 		}
 		return nil, nil
 	}
+	var reply []byte
+	if di, ok := i.client.(DeadlineInvoker); ok && !deadline.IsZero() {
+		reply, err = di.InvokeDeadline(target, request, deadline)
+	} else {
+		reply, err = i.client.Invoke(target, request)
+	}
+	if err != nil {
+		return nil, err
+	}
 	ch := make(chan []byte, 1)
-	requestID := msg.Request.RequestID
-	go func() {
-		reply, err := i.client.Invoke(target, request)
-		if err != nil {
-			// Surface infrastructure failures as CORBA system
-			// exceptions so the stub's error path stays uniform.
-			e := iiop.NewEncoder()
-			e.WriteString(err.Error())
-			reply = (&iiop.Reply{
-				RequestID: requestID,
-				Status:    iiop.ReplySystemException,
-				Body:      e.Bytes(),
-			}).Marshal()
-		}
-		ch <- reply
-	}()
+	ch <- reply
 	return ch, nil
 }

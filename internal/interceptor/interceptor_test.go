@@ -33,6 +33,19 @@ func (f *fakeInvoker) InvokeOneWay(target ids.ObjectGroupID, req []byte) error {
 	return f.err
 }
 
+// fakeDeadlineInvoker additionally implements DeadlineInvoker.
+type fakeDeadlineInvoker struct {
+	fakeInvoker
+	lastDeadline  time.Time
+	deadlineCalls int
+}
+
+func (f *fakeDeadlineInvoker) InvokeDeadline(target ids.ObjectGroupID, req []byte, deadline time.Time) ([]byte, error) {
+	f.lastDeadline = deadline
+	f.deadlineCalls++
+	return f.Invoke(target, req)
+}
+
 func request(key, op string, oneway bool) []byte {
 	return (&iiop.Request{
 		RequestID:        7,
@@ -118,27 +131,47 @@ func TestSubmitGarbageFails(t *testing.T) {
 	}
 }
 
-func TestInvokeErrorBecomesSystemException(t *testing.T) {
-	fake := &fakeInvoker{err: errors.New("quorum lost")}
+func TestInvokeErrorReturnedDirectly(t *testing.T) {
+	// Infrastructure failures flow back as errors (not synthesized
+	// replies), so typed sentinels like replication.ErrQuorumLost stay
+	// matchable with errors.Is through the stub.
+	sentinel := errors.New("quorum lost")
+	fake := &fakeInvoker{err: sentinel}
 	ic := New(fake)
 	ic.Bind("k", 3)
 	ch, err := ic.Submit(request("k", "op", false), false)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the invoker's error", err)
+	}
+	if ch != nil {
+		t.Fatal("failed invocation returned a reply channel")
+	}
+}
+
+func TestSubmitDeadlinePassesThrough(t *testing.T) {
+	fake := &fakeDeadlineInvoker{
+		fakeInvoker: fakeInvoker{reply: (&iiop.Reply{RequestID: 7}).Marshal()},
+	}
+	ic := New(fake)
+	ic.Bind("k", 3)
+	deadline := time.Now().Add(123 * time.Millisecond)
+	ch, err := ic.SubmitDeadline(request("k", "op", false), false, deadline)
 	if err != nil {
 		t.Fatal(err)
 	}
-	reply := <-ch
-	msg, err := iiop.Parse(reply)
-	if err != nil || msg.Reply == nil {
-		t.Fatal("unparseable synthesized reply")
+	if reply := <-ch; len(reply) == 0 {
+		t.Fatal("no reply")
 	}
-	if msg.Reply.Status != iiop.ReplySystemException {
-		t.Fatalf("status = %v", msg.Reply.Status)
+	if !fake.lastDeadline.Equal(deadline) {
+		t.Fatalf("deadline %v not forwarded (got %v)", deadline, fake.lastDeadline)
 	}
-	if got := orb.DecodeException(msg.Reply.Body); got != "quorum lost" {
-		t.Fatalf("exception text %q", got)
+	// A zero deadline uses the plain Invoke path even on a
+	// deadline-capable invoker.
+	if _, err := ic.SubmitDeadline(request("k", "op", false), false, time.Time{}); err != nil {
+		t.Fatal(err)
 	}
-	if msg.Reply.RequestID != 7 {
-		t.Fatalf("request id %d not preserved", msg.Reply.RequestID)
+	if fake.deadlineCalls != 1 {
+		t.Fatalf("deadlineCalls = %d, want 1", fake.deadlineCalls)
 	}
 }
 

@@ -102,6 +102,13 @@ type Config struct {
 	FormTimeout time.Duration
 	// FlushTimeout bounds the flush barrier wait; 0 means 50ms.
 	FlushTimeout time.Duration
+	// AnnounceInterval is how often the lowest member of an installed
+	// view advertises it to processors outside it (Eventual Inclusion,
+	// Table 4); 0 means 50ms.
+	AnnounceInterval time.Duration
+	// RejoinInterval is how often an excluded processor re-requests
+	// readmission into the view it adopted; 0 means 25ms.
+	RejoinInterval time.Duration
 	// Now is the clock; nil means time.Now.
 	Now func() time.Time
 }
@@ -123,6 +130,8 @@ type Membership struct {
 	formStarted  time.Time
 	lastPropose  time.Time
 	lastFlush    time.Time
+	lastAnnounce time.Time
+	lastRejoin   time.Time
 
 	installs atomic.Uint64 // installs beyond the initial one (cross-goroutine reads)
 }
@@ -146,6 +155,12 @@ func New(cfg Config) (*Membership, error) {
 	}
 	if cfg.FlushTimeout <= 0 {
 		cfg.FlushTimeout = 50 * time.Millisecond
+	}
+	if cfg.AnnounceInterval <= 0 {
+		cfg.AnnounceInterval = 50 * time.Millisecond
+	}
+	if cfg.RejoinInterval <= 0 {
+		cfg.RejoinInterval = 25 * time.Millisecond
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -205,7 +220,9 @@ func (m *Membership) Tick() {
 	if !m.forming {
 		if m.needChange() {
 			m.beginForming()
+			return
 		}
+		m.maintain()
 		return
 	}
 	now := m.now()
@@ -221,6 +238,40 @@ func (m *Membership) Tick() {
 		m.recomputeProposal()
 	}
 	m.tryInstall()
+}
+
+// maintain runs the steady-state duties of an installed view: the lowest
+// member periodically announces the view to processors outside it, and an
+// excluded processor periodically requests readmission into the view it
+// adopted. Together these implement Eventual Inclusion (Table 4) for
+// repaired processors.
+func (m *Membership) maintain() {
+	now := m.now()
+	if m.isMember(m.cfg.Self) {
+		if len(m.current.Members) == 0 || m.current.Members[0] != m.cfg.Self {
+			return
+		}
+		if now.Sub(m.lastAnnounce) < m.cfg.AnnounceInterval {
+			return
+		}
+		m.lastAnnounce = now
+		msg := &wire.Membership{
+			Sender:    m.cfg.Self,
+			Kind:      wire.MembershipAnnounce,
+			InstallID: m.current.ID,
+			NewRing:   m.current.Ring,
+			Members:   m.current.Members,
+		}
+		if err := m.sign(msg); err == nil {
+			m.cfg.Trans.Multicast(msg.Marshal())
+		}
+		return
+	}
+	if now.Sub(m.lastRejoin) < m.cfg.RejoinInterval {
+		return
+	}
+	m.lastRejoin = now
+	m.RequestJoin(m.current)
 }
 
 // needChange reports whether the installed view conflicts with the
@@ -316,8 +367,33 @@ func (m *Membership) HandleMessage(raw []byte) {
 	if !m.cfg.Suite.VerifyToken(msg.Sender, msg.SignedPortion(), msg.Signature) {
 		return
 	}
+	if msg.Kind == wire.MembershipAnnounce {
+		// Handled before the install-id and suspicion gates: an excluded
+		// processor's view lags the announcer's, and its detector may hold
+		// stale silence suspicions against every survivor.
+		m.handleAnnounce(msg)
+		return
+	}
 	if msg.InstallID != m.current.ID+1 {
-		return // stale or far-future install
+		if msg.Kind == wire.MembershipPropose && !m.isMember(m.cfg.Self) &&
+			msg.InstallID > m.current.ID+1 && m.isMember(msg.Sender) {
+			// A rejoining processor cannot observe the members' commits, so
+			// its notion of the install sequence falls behind while the
+			// members keep reconfiguring (each readmission attempt that
+			// times out installs a fresh view). Fast-forward to the
+			// formation in progress — the adopted view names the sender as
+			// a member and the signature binds the claim — and process the
+			// proposal at the new position, so the rejoiner can answer it
+			// before the formation timeout marks it unresponsive again.
+			m.current.ID = msg.InstallID - 1
+			m.current.Ring = msg.NewRing - 1
+			m.forming = false
+			m.myProposal = nil
+			m.proposals = make(map[ids.ProcessorID]*wire.Membership)
+			m.suspectVotes = make(map[ids.ProcessorID]map[ids.ProcessorID]bool)
+		} else {
+			return // stale or far-future install
+		}
 	}
 	if m.cfg.Source.Suspected(msg.Sender) {
 		return // no standing
@@ -364,6 +440,44 @@ func (m *Membership) HandleMessage(raw []byte) {
 		}
 		m.install(msg.Members, msg.InstallID, msg.NewRing)
 	}
+}
+
+// handleAnnounce considers adopting an advertised installed view. Only a
+// processor outside the announced membership adopts (members follow their
+// own installs); the announcer must itself be a member; and the announced
+// view must supersede ours — a later install, or the same install with a
+// strictly larger membership, which prevents the survivors of a crash
+// from adopting the detached processor's singleton view while letting the
+// detached processor adopt theirs. Adoption installs the view (excluding
+// self), which tears down any stale ring and clears non-sticky
+// suspicions, and schedules an immediate readmission request.
+//
+// A Byzantine announcer can sign a fabricated larger view and force a
+// correct excluded processor to chase it; see DESIGN.md for this residual
+// gap (the original protocol closes it with Byzantine agreement).
+func (m *Membership) handleAnnounce(msg *wire.Membership) {
+	selfIn, senderIn := false, false
+	for _, p := range msg.Members {
+		if p == m.cfg.Self {
+			selfIn = true
+		}
+		if p == msg.Sender {
+			senderIn = true
+		}
+	}
+	if selfIn || !senderIn {
+		return
+	}
+	if msg.InstallID < m.current.ID {
+		return
+	}
+	if msg.InstallID == m.current.ID &&
+		(wire.SameMembers(msg.Members, m.current.Members) ||
+			len(msg.Members) <= len(m.current.Members)) {
+		return
+	}
+	m.install(msg.Members, msg.InstallID, msg.NewRing)
+	m.lastRejoin = time.Time{} // request readmission on the next Tick
 }
 
 // recordSuspectVotes tallies who proposes to exclude whom; adopting a

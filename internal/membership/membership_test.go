@@ -500,3 +500,90 @@ func TestStaleInstallIgnored(t *testing.T) {
 		t.Fatal("stale-install proposal accepted")
 	}
 }
+
+func TestAnnounceDrivenRejoin(t *testing.T) {
+	// Table 4 Eventual Inclusion for a previously excluded processor: the
+	// lowest member of the installed view announces it periodically, the
+	// excluded processor adopts the superseding view, requests to rejoin,
+	// and is eventually readmitted.
+	members := []ids.ProcessorID{1, 2, 3, 4}
+	sim := newMemberSim(t, members, sec.LevelSignatures)
+	sim.dropTo[4] = true
+	for _, p := range []ids.ProcessorID{1, 2, 3} {
+		sim.sources[p].suspects[4] = true
+	}
+	live := []ids.ProcessorID{1, 2, 3}
+	sim.run(200, 1, live)
+	if len(sim.installs[1]) == 0 || !wire.SameMembers(sim.installs[1][0].Members, live) {
+		t.Fatalf("survivors never excluded P4: %+v", sim.installs[1])
+	}
+
+	// P4 recovers: its network path is restored and the survivors'
+	// detectors no longer suspect it.
+	sim.dropTo[4] = false
+	for _, p := range live {
+		delete(sim.sources[p].suspects, 4)
+	}
+
+	readmitted := func(p ids.ProcessorID) bool {
+		ins := sim.installs[p]
+		if len(ins) == 0 {
+			return false
+		}
+		last := ins[len(ins)-1]
+		return wire.SameMembers(last.Members, members)
+	}
+	for i := 0; i < 1000 && !(readmitted(4) && readmitted(1)); i++ {
+		sim.step(2 * time.Millisecond)
+	}
+	for _, p := range members {
+		if !readmitted(p) {
+			t.Fatalf("P%d never installed the readmitting view: %+v", p, sim.installs[p])
+		}
+	}
+
+	// The adopted announce itself must have been installed by P4 before
+	// readmission: a view superseding its own that excludes it.
+	sawAdopted := false
+	for _, in := range sim.installs[4] {
+		if wire.SameMembers(in.Members, live) {
+			sawAdopted = true
+		}
+	}
+	if !sawAdopted {
+		t.Fatalf("P4 never adopted the announced view: %+v", sim.installs[4])
+	}
+}
+
+func TestAnnounceRejectedWhenStaleOrSelfIncluded(t *testing.T) {
+	members := []ids.ProcessorID{1, 2, 3}
+	sim := newMemberSim(t, members, sec.LevelNone)
+	m := sim.insts[1]
+
+	// An announce listing the receiver as a member is ignored (members
+	// learn views through the membership protocol, not announces).
+	ann := &wire.Membership{
+		Sender: 2, Kind: wire.MembershipAnnounce, InstallID: 9, NewRing: 9,
+		Members: []ids.ProcessorID{1, 2, 3},
+	}
+	if err := sim.insts[2].sign(ann); err != nil {
+		t.Fatal(err)
+	}
+	m.HandleMessage(ann.Marshal())
+	if m.Current().ID == 9 {
+		t.Fatal("self-including announce adopted")
+	}
+
+	// An announce older than the current view is ignored.
+	stale := &wire.Membership{
+		Sender: 2, Kind: wire.MembershipAnnounce, InstallID: 0, NewRing: 1,
+		Members: []ids.ProcessorID{2, 3},
+	}
+	if err := sim.insts[2].sign(stale); err != nil {
+		t.Fatal(err)
+	}
+	m.HandleMessage(stale.Marshal())
+	if !wire.SameMembers(m.Current().Members, members) {
+		t.Fatal("stale announce adopted")
+	}
+}

@@ -49,6 +49,13 @@ type Transport interface {
 	Submit(request []byte, oneway bool) (<-chan []byte, error)
 }
 
+// DeadlineTransport is the optional Transport extension for per-call
+// deadlines. The Immune interceptor implements it; transports that do not
+// are bounded by the ORB's CallTimeout instead.
+type DeadlineTransport interface {
+	SubmitDeadline(request []byte, oneway bool, deadline time.Time) (<-chan []byte, error)
+}
+
 // Adapter is the object adapter: the server-side registry of servants
 // (skeletons) keyed by object key.
 type Adapter struct {
@@ -227,6 +234,14 @@ func (r *ObjRef) Key() string { return r.key }
 
 // Invoke performs a two-way invocation and returns the CDR-encoded result.
 func (r *ObjRef) Invoke(op string, args []byte) ([]byte, error) {
+	return r.InvokeDeadline(op, args, time.Time{})
+}
+
+// InvokeDeadline is Invoke with an explicit per-call deadline (zero means
+// now+CallTimeout). A transport implementing DeadlineTransport enforces
+// the deadline itself (the Immune path, which also retries within it);
+// otherwise the stub waits until the deadline for the reply channel.
+func (r *ObjRef) InvokeDeadline(op string, args []byte, deadline time.Time) ([]byte, error) {
 	req := &iiop.Request{
 		RequestID:        r.orb.nextRequestID(),
 		ResponseExpected: true,
@@ -234,16 +249,34 @@ func (r *ObjRef) Invoke(op string, args []byte) ([]byte, error) {
 		Operation:        op,
 		Body:             args,
 	}
-	ch, err := r.orb.trans.Submit(req.Marshal(), false)
+	var ch <-chan []byte
+	var err error
+	if dt, ok := r.orb.trans.(DeadlineTransport); ok {
+		ch, err = dt.SubmitDeadline(req.Marshal(), false, deadline)
+	} else {
+		ch, err = r.orb.trans.Submit(req.Marshal(), false)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("orb: submit %q: %w", op, err)
 	}
+	wait := r.orb.CallTimeout
+	if !deadline.IsZero() {
+		wait = time.Until(deadline)
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
 	var rawReply []byte
 	select {
 	case rawReply = <-ch:
-	case <-time.After(r.orb.CallTimeout):
+	case <-timer.C:
 		return nil, fmt.Errorf("orb: invocation %q on %q timed out", op, r.key)
 	}
+	return decodeReply(rawReply)
+}
+
+// decodeReply parses a marshaled IIOP Reply, mapping exception replies to
+// InvocationError.
+func decodeReply(rawReply []byte) ([]byte, error) {
 	msg, err := iiop.Parse(rawReply)
 	if err != nil {
 		return nil, fmt.Errorf("orb: parse reply: %w", err)

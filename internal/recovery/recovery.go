@@ -1,0 +1,512 @@
+// Package recovery implements the Immune system's replica reallocation
+// policy (paper §3.1): "if a processor is excluded from the membership,
+// the replicas of the objects it hosted are reallocated to other
+// processors". A Manager subscribes to processor membership installs,
+// diffs the installed view against the hosted object groups, detects
+// groups whose live degree has fallen below their configured replication
+// degree, chooses replacement processors — honoring one replica per
+// processor per group and balancing load — and re-hosts replicas through
+// the Replication Manager's majority-voted state transfer. Failed
+// placements (the chosen processor is excluded mid-transfer, or the
+// replica never activates) are retried with capped exponential backoff
+// onto other candidates.
+package recovery
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"immune/internal/ids"
+)
+
+// Placement is a live handle on one in-flight re-hosting: it reports
+// whether the new replica has activated (its join delivered and the
+// majority-voted state transfer completed).
+type Placement interface {
+	Active() bool
+}
+
+// Cluster is the Manager's view of the deployment. The core layer
+// provides an adapter backed by a reference Replication Manager (any
+// synced member of the newest installed view — total order makes every
+// synced directory identical).
+type Cluster interface {
+	// View returns the currently installed processor membership.
+	View() []ids.ProcessorID
+	// Groups returns every object group in the reference directory.
+	Groups() []ids.ObjectGroupID
+	// GroupHosts returns the processors hosting a replica of g.
+	GroupHosts(g ids.ObjectGroupID) []ids.ProcessorID
+	// GroupDegreeHW returns the highest degree ever observed for g.
+	GroupDegreeHW(g ids.ObjectGroupID) int
+	// Load returns how many replicas p currently hosts.
+	Load(p ids.ProcessorID) int
+	// Ready reports whether p can accept a placement (member of the
+	// view, directory synced).
+	Ready(p ids.ProcessorID) bool
+	// Place re-hosts a replica of g on p; the group's state reaches the
+	// new replica through majority-voted state transfer.
+	Place(p ids.ProcessorID, g ids.ObjectGroupID) (Placement, error)
+	// Evict removes g's replica on p (a placement that never activated).
+	Evict(g ids.ObjectGroupID, p ids.ProcessorID) error
+}
+
+// EventKind classifies a recovery event.
+type EventKind int
+
+const (
+	// EventDegraded: the group's live degree fell below its configured
+	// degree.
+	EventDegraded EventKind = iota + 1
+	// EventCritical: the live degree fell below ⌈(r+1)/2⌉ of the
+	// configured degree (§3.1 hard alarm) — a majority of the configured
+	// degree can no longer form.
+	EventCritical
+	// EventPlacementStarted: a replacement replica was placed and its
+	// state transfer began.
+	EventPlacementStarted
+	// EventPlacementFailed: a placement was abandoned (target excluded
+	// mid-transfer, activation timeout, or the host call failed).
+	EventPlacementFailed
+	// EventReplicaRestored: a replacement replica activated with the
+	// transferred state.
+	EventReplicaRestored
+	// EventRecovered: the group is back to its configured degree.
+	EventRecovered
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventDegraded:
+		return "degraded"
+	case EventCritical:
+		return "critical"
+	case EventPlacementStarted:
+		return "placement-started"
+	case EventPlacementFailed:
+		return "placement-failed"
+	case EventReplicaRestored:
+		return "replica-restored"
+	case EventRecovered:
+		return "recovered"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event records one recovery decision or observation.
+type Event struct {
+	Time      time.Time
+	Kind      EventKind
+	Group     ids.ObjectGroupID
+	Processor ids.ProcessorID // placement target, when applicable
+	Detail    string
+}
+
+// GroupHealth is one group's degree accounting in a Health snapshot.
+type GroupHealth struct {
+	Group      ids.ObjectGroupID
+	Degree     int  // configured replication degree (high-water if unmanaged)
+	Live       int  // replicas currently in the directory
+	Managed    bool // registered for automatic recovery
+	Degraded   bool // Live < Degree
+	Critical   bool // Live < ⌈(Degree+1)/2⌉
+	Recovering bool // a placement is in flight
+	Recoveries uint64
+}
+
+// Health is a snapshot of the recovery manager's view of the system.
+type Health struct {
+	Members []ids.ProcessorID // installed processor membership
+	Groups  []GroupHealth     // sorted by group id
+	Events  []Event           // most recent first
+}
+
+// minCorrect returns ⌈(r+1)/2⌉ (paper §3.1).
+func minCorrect(r int) int { return (r + 2) / 2 }
+
+// Config parameterizes a Manager.
+type Config struct {
+	Cluster Cluster
+	// Tick is the reconciliation period; 0 means 5ms.
+	Tick time.Duration
+	// Backoff is the base delay before retrying a group's placement
+	// after a failure (doubled per consecutive failure, jittered);
+	// 0 means 50ms.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff; 0 means 2s.
+	MaxBackoff time.Duration
+	// ActivationTimeout bounds how long a placement may stay inactive
+	// before it is evicted and retried elsewhere; 0 means 2s.
+	ActivationTimeout time.Duration
+	// Cooldown keeps a processor that failed a group's placement out of
+	// that group's candidate set for a while; 0 means 1s.
+	Cooldown time.Duration
+}
+
+// eventCap bounds the retained event history.
+const eventCap = 256
+
+// groupState is the Manager's bookkeeping for one registered group.
+type groupState struct {
+	degree     int
+	degraded   bool // edge-triggered: event emitted on transition
+	critical   bool
+	recoveries uint64
+
+	inflight *inflight
+	failures int // consecutive placement failures (backoff exponent)
+	nextTry  time.Time
+	cooldown map[ids.ProcessorID]time.Time
+}
+
+// inflight is one placement awaiting activation.
+type inflight struct {
+	target   ids.ProcessorID
+	pl       Placement
+	deadline time.Time
+}
+
+// Manager drives automatic replica reallocation for registered groups.
+type Manager struct {
+	cfg Config
+
+	mu     sync.Mutex
+	specs  map[ids.ObjectGroupID]*groupState
+	events []Event // ring, newest last
+
+	kick    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// New creates a Manager (not yet running).
+func New(cfg Config) (*Manager, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("recovery: cluster required")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 5 * time.Millisecond
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.ActivationTimeout <= 0 {
+		cfg.ActivationTimeout = 2 * time.Second
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	return &Manager{
+		cfg:   cfg,
+		specs: make(map[ids.ObjectGroupID]*groupState),
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Register places a group under automatic recovery with the given
+// configured replication degree.
+func (m *Manager) Register(g ids.ObjectGroupID, degree int) error {
+	if degree <= 0 {
+		return fmt.Errorf("recovery: degree %d for %s", degree, g)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.specs[g]; ok {
+		st.degree = degree
+		return nil
+	}
+	m.specs[g] = &groupState{
+		degree:   degree,
+		cooldown: make(map[ids.ProcessorID]time.Time),
+	}
+	return nil
+}
+
+// Start launches the reconciliation loop. Starting twice is a no-op.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	go m.loop()
+}
+
+// Stop terminates the loop and waits for it to exit.
+func (m *Manager) Stop() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	m.mu.Lock()
+	started := m.started
+	m.mu.Unlock()
+	if started {
+		<-m.done
+	}
+}
+
+// Kick requests an immediate reconciliation pass (called on membership
+// installs so recovery does not wait out a tick).
+func (m *Manager) Kick() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Manager) loop() {
+	defer close(m.done)
+	t := time.NewTicker(m.cfg.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.kick:
+		case <-t.C:
+		}
+		m.reconcile()
+	}
+}
+
+// reconcile runs one pass: settle in-flight placements, re-evaluate every
+// registered group's degree, and start at most one new placement per
+// degraded group.
+func (m *Manager) reconcile() {
+	now := time.Now()
+	view := m.cfg.Cluster.View()
+	alive := make(map[ids.ProcessorID]bool, len(view))
+	for _, p := range view {
+		alive[p] = true
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	groups := make([]ids.ObjectGroupID, 0, len(m.specs))
+	for g := range m.specs {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+
+	for _, g := range groups {
+		st := m.specs[g]
+		hosts := m.cfg.Cluster.GroupHosts(g)
+		hosted := make(map[ids.ProcessorID]bool, len(hosts))
+		for _, p := range hosts {
+			hosted[p] = true
+		}
+
+		m.settleInflightLocked(now, g, st, alive, hosted)
+		m.updateFlagsLocked(now, g, st, len(hosts))
+
+		if st.inflight != nil || len(hosts) >= st.degree || now.Before(st.nextTry) {
+			continue
+		}
+		if m.cfg.Cluster.GroupDegreeHW(g) < st.degree {
+			// The group has never reached its configured degree: it is
+			// still bootstrapping (initial joins in flight), not degraded.
+			// Recovery restores lost replicas; it does not bootstrap.
+			continue
+		}
+		target, ok := m.pickTargetLocked(now, st, view, hosted)
+		if !ok {
+			continue // no eligible processor; retry on a later pass
+		}
+		pl, err := m.cfg.Cluster.Place(target, g)
+		if err != nil {
+			m.failureLocked(now, g, st, target, fmt.Sprintf("host: %v", err))
+			continue
+		}
+		st.inflight = &inflight{
+			target:   target,
+			pl:       pl,
+			deadline: now.Add(m.cfg.ActivationTimeout),
+		}
+		m.eventLocked(Event{
+			Time: now, Kind: EventPlacementStarted, Group: g, Processor: target,
+			Detail: fmt.Sprintf("%d/%d live", len(hosts), st.degree),
+		})
+	}
+}
+
+// settleInflightLocked resolves a group's in-flight placement: success on
+// activation, failure on target exclusion or activation timeout.
+func (m *Manager) settleInflightLocked(now time.Time, g ids.ObjectGroupID, st *groupState,
+	alive, hosted map[ids.ProcessorID]bool) {
+	fl := st.inflight
+	if fl == nil {
+		return
+	}
+	switch {
+	case fl.pl.Active():
+		st.inflight = nil
+		st.failures = 0
+		st.nextTry = time.Time{}
+		st.recoveries++
+		m.eventLocked(Event{Time: now, Kind: EventReplicaRestored, Group: g, Processor: fl.target})
+	case !alive[fl.target]:
+		// The chosen processor was excluded mid-transfer; its replica is
+		// already gone from the directory. Retry elsewhere.
+		st.inflight = nil
+		m.failureLocked(now, g, st, fl.target, "target excluded mid-transfer")
+	case now.After(fl.deadline):
+		// The placement never activated (e.g. its state transfer wedged).
+		// Evict the zombie so a retry can re-place on this processor later.
+		st.inflight = nil
+		if hosted[fl.target] {
+			_ = m.cfg.Cluster.Evict(g, fl.target)
+		}
+		m.failureLocked(now, g, st, fl.target, "activation timeout")
+	}
+}
+
+// failureLocked records a failed placement: event, cooldown for the
+// target, and capped exponential backoff (jittered) before the retry.
+func (m *Manager) failureLocked(now time.Time, g ids.ObjectGroupID, st *groupState,
+	target ids.ProcessorID, detail string) {
+	st.cooldown[target] = now.Add(m.cfg.Cooldown)
+	backoff := m.cfg.Backoff << uint(st.failures)
+	if backoff > m.cfg.MaxBackoff || backoff <= 0 {
+		backoff = m.cfg.MaxBackoff
+	}
+	backoff = backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+	st.failures++
+	st.nextTry = now.Add(backoff)
+	m.eventLocked(Event{Time: now, Kind: EventPlacementFailed, Group: g, Processor: target, Detail: detail})
+}
+
+// updateFlagsLocked maintains the edge-triggered degraded/critical flags
+// and their events.
+func (m *Manager) updateFlagsLocked(now time.Time, g ids.ObjectGroupID, st *groupState, live int) {
+	degraded := live < st.degree
+	critical := live < minCorrect(st.degree)
+	if critical && !st.critical {
+		m.eventLocked(Event{
+			Time: now, Kind: EventCritical, Group: g,
+			Detail: fmt.Sprintf("%d/%d live, majority needs %d", live, st.degree, minCorrect(st.degree)),
+		})
+	}
+	if degraded && !st.degraded {
+		m.eventLocked(Event{
+			Time: now, Kind: EventDegraded, Group: g,
+			Detail: fmt.Sprintf("%d/%d live", live, st.degree),
+		})
+	}
+	if !degraded && st.degraded {
+		m.eventLocked(Event{
+			Time: now, Kind: EventRecovered, Group: g,
+			Detail: fmt.Sprintf("%d/%d live", live, st.degree),
+		})
+	}
+	st.degraded, st.critical = degraded, critical
+}
+
+// pickTargetLocked chooses the replacement processor: a ready member of
+// the view not already hosting the group (one replica per processor per
+// group, §3.1) and not cooling down, preferring the least-loaded, with
+// identifier order breaking ties deterministically.
+func (m *Manager) pickTargetLocked(now time.Time, st *groupState,
+	view []ids.ProcessorID, hosted map[ids.ProcessorID]bool) (ids.ProcessorID, bool) {
+	type cand struct {
+		p    ids.ProcessorID
+		load int
+	}
+	var cands []cand
+	for _, p := range view {
+		if hosted[p] {
+			continue
+		}
+		if until, cooling := st.cooldown[p]; cooling {
+			if now.Before(until) {
+				continue
+			}
+			delete(st.cooldown, p)
+		}
+		if !m.cfg.Cluster.Ready(p) {
+			continue
+		}
+		cands = append(cands, cand{p: p, load: m.cfg.Cluster.Load(p)})
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].load != cands[j].load {
+			return cands[i].load < cands[j].load
+		}
+		return cands[i].p < cands[j].p
+	})
+	return cands[0].p, true
+}
+
+// eventLocked appends to the bounded event history. Caller holds m.mu.
+func (m *Manager) eventLocked(e Event) {
+	m.events = append(m.events, e)
+	if len(m.events) > eventCap {
+		m.events = m.events[len(m.events)-eventCap:]
+	}
+}
+
+// Health snapshots the membership, every group's degree accounting
+// (registered or merely observed), and the recent event history (newest
+// first).
+func (m *Manager) Health() Health {
+	view := m.cfg.Cluster.View()
+	observed := m.cfg.Cluster.Groups()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[ids.ObjectGroupID]bool)
+	var groups []GroupHealth
+	add := func(g ids.ObjectGroupID) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		live := len(m.cfg.Cluster.GroupHosts(g))
+		gh := GroupHealth{Group: g, Live: live}
+		if st, ok := m.specs[g]; ok {
+			gh.Managed = true
+			gh.Degree = st.degree
+			gh.Recovering = st.inflight != nil
+			gh.Recoveries = st.recoveries
+		} else {
+			gh.Degree = m.cfg.Cluster.GroupDegreeHW(g)
+		}
+		gh.Degraded = live < gh.Degree
+		gh.Critical = live < minCorrect(gh.Degree)
+		groups = append(groups, gh)
+	}
+	for g := range m.specs {
+		add(g)
+	}
+	for _, g := range observed {
+		add(g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Group < groups[j].Group })
+
+	events := make([]Event, len(m.events))
+	for i, e := range m.events {
+		events[len(events)-1-i] = e
+	}
+	return Health{
+		Members: append([]ids.ProcessorID(nil), view...),
+		Groups:  groups,
+		Events:  events,
+	}
+}

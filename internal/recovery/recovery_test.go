@@ -1,0 +1,317 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"immune/internal/ids"
+)
+
+// fakePlacement lets a test control when the "state transfer" completes.
+type fakePlacement struct{ active bool }
+
+func (p *fakePlacement) Active() bool { return p.active }
+
+// fakeCluster is a scriptable Cluster. Tests drive reconcile() directly,
+// so no synchronization is needed.
+type fakeCluster struct {
+	view     []ids.ProcessorID
+	hosts    map[ids.ObjectGroupID][]ids.ProcessorID
+	hw       map[ids.ObjectGroupID]int
+	load     map[ids.ProcessorID]int
+	notReady map[ids.ProcessorID]bool
+
+	placeErr   error
+	placements []ids.ProcessorID // targets, in order
+	lastPl     *fakePlacement
+	evictions  []ids.ProcessorID
+}
+
+func (c *fakeCluster) View() []ids.ProcessorID { return c.view }
+
+func (c *fakeCluster) Groups() []ids.ObjectGroupID {
+	out := make([]ids.ObjectGroupID, 0, len(c.hosts))
+	for g := range c.hosts {
+		out = append(out, g)
+	}
+	return out
+}
+
+func (c *fakeCluster) GroupHosts(g ids.ObjectGroupID) []ids.ProcessorID { return c.hosts[g] }
+
+func (c *fakeCluster) GroupDegreeHW(g ids.ObjectGroupID) int { return c.hw[g] }
+
+func (c *fakeCluster) Load(p ids.ProcessorID) int { return c.load[p] }
+
+func (c *fakeCluster) Ready(p ids.ProcessorID) bool { return !c.notReady[p] }
+
+func (c *fakeCluster) Place(p ids.ProcessorID, g ids.ObjectGroupID) (Placement, error) {
+	if c.placeErr != nil {
+		return nil, c.placeErr
+	}
+	c.placements = append(c.placements, p)
+	c.hosts[g] = append(c.hosts[g], p)
+	c.lastPl = &fakePlacement{}
+	return c.lastPl, nil
+}
+
+func (c *fakeCluster) Evict(g ids.ObjectGroupID, p ids.ProcessorID) error {
+	c.evictions = append(c.evictions, p)
+	kept := c.hosts[g][:0]
+	for _, h := range c.hosts[g] {
+		if h != p {
+			kept = append(kept, h)
+		}
+	}
+	c.hosts[g] = kept
+	return nil
+}
+
+const testG = ids.ObjectGroupID(7)
+
+func newTestManager(t *testing.T, c *fakeCluster, degree int) *Manager {
+	t.Helper()
+	m, err := New(Config{
+		Cluster:           c,
+		Backoff:           time.Millisecond,
+		MaxBackoff:        4 * time.Millisecond,
+		ActivationTimeout: 5 * time.Millisecond,
+		Cooldown:          time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(testG, degree); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func kinds(events []Event) []EventKind {
+	out := make([]EventKind, len(events))
+	for i, e := range events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+func hasKind(events []Event, k EventKind) bool {
+	for _, e := range events {
+		if e.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBootstrapGateSuppressesPlacement(t *testing.T) {
+	// Two of three configured replicas have joined but the group never
+	// reached full degree: it is bootstrapping, not degraded. Recovery
+	// must not race the initial joins with a duplicate placement.
+	c := &fakeCluster{
+		view:  []ids.ProcessorID{1, 2, 3, 4},
+		hosts: map[ids.ObjectGroupID][]ids.ProcessorID{testG: {1, 2}},
+		hw:    map[ids.ObjectGroupID]int{testG: 2},
+	}
+	m := newTestManager(t, c, 3)
+	m.reconcile()
+	if len(c.placements) != 0 {
+		t.Fatalf("placed on %v during bootstrap", c.placements)
+	}
+}
+
+func TestDegradedGroupPlacedOnLeastLoaded(t *testing.T) {
+	c := &fakeCluster{
+		view:  []ids.ProcessorID{1, 2, 3, 4},
+		hosts: map[ids.ObjectGroupID][]ids.ProcessorID{testG: {1, 2}},
+		hw:    map[ids.ObjectGroupID]int{testG: 3},
+		load:  map[ids.ProcessorID]int{3: 5, 4: 1},
+	}
+	m := newTestManager(t, c, 3)
+	m.reconcile()
+	if len(c.placements) != 1 || c.placements[0] != 4 {
+		t.Fatalf("placements = %v, want [4]", c.placements)
+	}
+	// The fake's directory already lists the placed (inactive) replica,
+	// so Live is back to 3; Recovering still reports the transfer.
+	h := m.Health()
+	if len(h.Groups) != 1 || !h.Groups[0].Recovering {
+		t.Fatalf("health = %+v", h.Groups)
+	}
+	if !hasKind(h.Events, EventDegraded) || !hasKind(h.Events, EventPlacementStarted) {
+		t.Fatalf("events = %v", kinds(h.Events))
+	}
+
+	// One placement at a time: another pass starts nothing new.
+	m.reconcile()
+	if len(c.placements) != 1 {
+		t.Fatalf("second placement started while one in flight: %v", c.placements)
+	}
+
+	// Activation completes the recovery and clears the flags.
+	c.lastPl.active = true
+	m.reconcile()
+	h = m.Health()
+	g := h.Groups[0]
+	if g.Degraded || g.Recovering || g.Recoveries != 1 {
+		t.Fatalf("after activation: %+v", g)
+	}
+	if !hasKind(h.Events, EventReplicaRestored) || !hasKind(h.Events, EventRecovered) {
+		t.Fatalf("events = %v", kinds(h.Events))
+	}
+}
+
+func TestCriticalDegradation(t *testing.T) {
+	// 1 of 3 live: below ⌈(3+1)/2⌉ = 2, the §3.1 hard alarm. The view
+	// offers no replacement candidate, so the flag persists.
+	c := &fakeCluster{
+		view:  []ids.ProcessorID{1},
+		hosts: map[ids.ObjectGroupID][]ids.ProcessorID{testG: {1}},
+		hw:    map[ids.ObjectGroupID]int{testG: 3},
+	}
+	m := newTestManager(t, c, 3)
+	m.reconcile()
+	h := m.Health()
+	if !h.Groups[0].Critical {
+		t.Fatalf("not critical: %+v", h.Groups[0])
+	}
+	if !hasKind(h.Events, EventCritical) {
+		t.Fatalf("events = %v", kinds(h.Events))
+	}
+}
+
+func TestTargetExcludedMidTransferRetriesElsewhere(t *testing.T) {
+	c := &fakeCluster{
+		view:  []ids.ProcessorID{1, 2, 3, 4},
+		hosts: map[ids.ObjectGroupID][]ids.ProcessorID{testG: {1, 2}},
+		hw:    map[ids.ObjectGroupID]int{testG: 3},
+		load:  map[ids.ProcessorID]int{3: 0, 4: 1},
+	}
+	m := newTestManager(t, c, 3)
+	m.reconcile()
+	if len(c.placements) != 1 || c.placements[0] != 3 {
+		t.Fatalf("placements = %v, want [3]", c.placements)
+	}
+
+	// P3 is excluded while the transfer is in flight.
+	c.view = []ids.ProcessorID{1, 2, 4}
+	c.hosts[testG] = []ids.ProcessorID{1, 2}
+	m.reconcile()
+	if !hasKind(m.Health().Events, EventPlacementFailed) {
+		t.Fatalf("events = %v", kinds(m.Health().Events))
+	}
+
+	// After backoff and cooldown the retry lands on the remaining
+	// candidate, P4.
+	deadline := time.Now().Add(time.Second)
+	for len(c.placements) < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+		m.reconcile()
+	}
+	if len(c.placements) != 2 || c.placements[1] != 4 {
+		t.Fatalf("placements = %v, want [3 4]", c.placements)
+	}
+}
+
+func TestActivationTimeoutEvictsZombie(t *testing.T) {
+	c := &fakeCluster{
+		view:  []ids.ProcessorID{1, 2, 3},
+		hosts: map[ids.ObjectGroupID][]ids.ProcessorID{testG: {1, 2}},
+		hw:    map[ids.ObjectGroupID]int{testG: 3},
+	}
+	m := newTestManager(t, c, 3)
+	m.reconcile()
+	if len(c.placements) != 1 {
+		t.Fatalf("placements = %v", c.placements)
+	}
+	// The placement never activates; past the activation deadline it is
+	// evicted so the slot can be retried.
+	time.Sleep(10 * time.Millisecond)
+	m.reconcile()
+	if len(c.evictions) != 1 || c.evictions[0] != 3 {
+		t.Fatalf("evictions = %v, want [3]", c.evictions)
+	}
+	if !hasKind(m.Health().Events, EventPlacementFailed) {
+		t.Fatalf("events = %v", kinds(m.Health().Events))
+	}
+}
+
+func TestPlaceErrorBacksOff(t *testing.T) {
+	c := &fakeCluster{
+		view:     []ids.ProcessorID{1, 2, 3},
+		hosts:    map[ids.ObjectGroupID][]ids.ProcessorID{testG: {1, 2}},
+		hw:       map[ids.ObjectGroupID]int{testG: 3},
+		placeErr: errors.New("boom"),
+	}
+	m := newTestManager(t, c, 3)
+	m.reconcile()
+	st := m.specs[testG]
+	if st.failures != 1 || !time.Now().Before(st.nextTry) {
+		t.Fatalf("failures=%d nextTry=%v", st.failures, st.nextTry)
+	}
+	// Immediately reconciling again does nothing: the retry waits out
+	// the backoff.
+	m.reconcile()
+	if st.failures != 1 {
+		t.Fatalf("retried inside backoff window (failures=%d)", st.failures)
+	}
+}
+
+func TestNotReadyProcessorsSkipped(t *testing.T) {
+	c := &fakeCluster{
+		view:     []ids.ProcessorID{1, 2, 3, 4},
+		hosts:    map[ids.ObjectGroupID][]ids.ProcessorID{testG: {1, 2}},
+		hw:       map[ids.ObjectGroupID]int{testG: 3},
+		load:     map[ids.ProcessorID]int{3: 0, 4: 1},
+		notReady: map[ids.ProcessorID]bool{3: true},
+	}
+	m := newTestManager(t, c, 3)
+	m.reconcile()
+	if len(c.placements) != 1 || c.placements[0] != 4 {
+		t.Fatalf("placements = %v, want [4]", c.placements)
+	}
+}
+
+func TestHealthReportsUnmanagedGroups(t *testing.T) {
+	other := ids.ObjectGroupID(9)
+	c := &fakeCluster{
+		view: []ids.ProcessorID{1, 2, 3},
+		hosts: map[ids.ObjectGroupID][]ids.ProcessorID{
+			testG: {1, 2, 3},
+			other: {1, 2},
+		},
+		hw: map[ids.ObjectGroupID]int{testG: 3, other: 3},
+	}
+	m := newTestManager(t, c, 3)
+	h := m.Health()
+	if len(h.Groups) != 2 {
+		t.Fatalf("groups = %+v", h.Groups)
+	}
+	var unmanaged GroupHealth
+	for _, g := range h.Groups {
+		if g.Group == other {
+			unmanaged = g
+		}
+	}
+	if unmanaged.Managed || unmanaged.Degree != 3 || !unmanaged.Degraded {
+		t.Fatalf("unmanaged group health = %+v", unmanaged)
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	c := &fakeCluster{
+		view:  []ids.ProcessorID{1},
+		hosts: map[ids.ObjectGroupID][]ids.ProcessorID{},
+		hw:    map[ids.ObjectGroupID]int{},
+	}
+	m, err := New(Config{Cluster: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	m.Start()
+	m.Kick()
+	m.Stop()
+	m.Stop()
+}

@@ -1,0 +1,27 @@
+package replication
+
+import "errors"
+
+// Sentinel errors for the client invocation path. They are wrapped with
+// call context by Handle.Invoke/InvokeDeadline; match with errors.Is.
+var (
+	// ErrTimeout: the deadline expired while the target group appears
+	// healthy — the invocation may still decide later (retry-safe: the
+	// voters discard re-delivered copies of a decided operation id).
+	ErrTimeout = errors.New("invocation timed out")
+	// ErrNotActive: the local client replica has not been admitted to its
+	// group yet (join pending), or was deactivated by exclusion.
+	ErrNotActive = errors.New("replica not active")
+	// ErrQuorumLost: the target group has no live replicas, or this
+	// processor was excluded from the membership — no vote can decide.
+	ErrQuorumLost = errors.New("quorum lost")
+	// ErrGroupDegraded: the target group's live degree has fallen below
+	// ⌈(r+1)/2⌉ of its configured degree (§3.1 hard alarm); a majority of
+	// the original degree can no longer form.
+	ErrGroupDegraded = errors.New("group degraded below majority")
+)
+
+// minCorrect returns ⌈(r+1)/2⌉, the minimum correct replicas required in
+// a group of degree r (paper §3.1). Duplicated from core to avoid an
+// import cycle.
+func minCorrect(r int) int { return (r + 2) / 2 }

@@ -14,6 +14,7 @@ package replication
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -57,18 +58,27 @@ type Config struct {
 	Processors int
 	// CallTimeout bounds client-role invocations; 0 means 10s.
 	CallTimeout time.Duration
+	// Retries is the number of idempotent re-sends a two-way invocation
+	// may attempt within its deadline. Re-sending is safe: the operation
+	// identifier is unchanged, so voters discard the duplicate copies.
+	Retries int
+	// RetryBackoff is the base backoff between re-sends (jittered,
+	// doubled per attempt, capped); 0 means 10ms.
+	RetryBackoff time.Duration
 }
 
 // Manager is one processor's Replication Manager.
 type Manager struct {
-	stack       Multicaster
-	self        ids.ProcessorID
-	callTimeout time.Duration
+	stack        Multicaster
+	self         ids.ProcessorID
+	callTimeout  time.Duration
+	retries      int
+	retryBackoff time.Duration
 
 	mu        sync.Mutex
 	dir       *group.Directory
 	hosted    map[ids.ObjectGroupID]*replicaState
-	waiters   map[ids.OperationID]chan []byte
+	waiters   map[ids.OperationID]chan invokeResult
 	invVoter  *voting.Voter
 	respVoter *voting.Voter
 	invDest   map[ids.OperationID]ids.ObjectGroupID // pending invocation -> target group
@@ -78,8 +88,24 @@ type Manager struct {
 	pending   map[ids.ReplicaID]*stateWait
 	respCache map[ids.OperationID][]byte // decided responses awaiting a local asker
 	respOrder []ids.OperationID          // FIFO for bounding respCache
+	degreeHW  map[ids.ObjectGroupID]int  // high-water group degree (error classification)
+	needSync  bool                       // excluded at some point; directory resync pending
+	syncID    uint64                     // membership install whose directory dump we await
+	syncBuf   []*group.Message           // deliveries buffered until the dump arrives
 	stats     Stats
 }
+
+// invokeResult is what a two-way waiter receives: the voted reply or a
+// typed failure (exclusion resets fail in-flight callers explicitly).
+type invokeResult struct {
+	payload []byte
+	err     error
+}
+
+// syncBufLimit bounds the delivery buffer of a resyncing manager; past it
+// the manager abandons the resync and stays unsynced (it will refuse to
+// host replicas, which keeps the rest of the system consistent).
+const syncBufLimit = 65536
 
 // respCacheLimit bounds the decided-response cache. A local client replica
 // can lag behind its peers (whose copies alone may decide the vote); the
@@ -136,18 +162,24 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 10 * time.Second
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 10 * time.Millisecond
+	}
 	m := &Manager{
-		stack:       cfg.Stack,
-		self:        cfg.Stack.Self(),
-		callTimeout: cfg.CallTimeout,
-		dir:         group.NewDirectory(),
-		hosted:      make(map[ids.ObjectGroupID]*replicaState),
-		waiters:     make(map[ids.OperationID]chan []byte),
-		invDest:     make(map[ids.OperationID]ids.ObjectGroupID),
-		joinSeq:     make(map[ids.ObjectGroupID]uint64),
-		members:     make(map[ids.ReplicaID]*memberInfo),
-		pending:     make(map[ids.ReplicaID]*stateWait),
-		respCache:   make(map[ids.OperationID][]byte),
+		stack:        cfg.Stack,
+		self:         cfg.Stack.Self(),
+		callTimeout:  cfg.CallTimeout,
+		retries:      cfg.Retries,
+		retryBackoff: cfg.RetryBackoff,
+		dir:          group.NewDirectory(),
+		hosted:       make(map[ids.ObjectGroupID]*replicaState),
+		waiters:      make(map[ids.OperationID]chan invokeResult),
+		invDest:      make(map[ids.OperationID]ids.ObjectGroupID),
+		joinSeq:      make(map[ids.ObjectGroupID]uint64),
+		members:      make(map[ids.ReplicaID]*memberInfo),
+		pending:      make(map[ids.ReplicaID]*stateWait),
+		respCache:    make(map[ids.OperationID][]byte),
+		degreeHW:     make(map[ids.ObjectGroupID]int),
 	}
 	m.invVoter = voting.NewVoter(m.dir.Size)
 	m.respVoter = voting.NewVoter(m.dir.Size)
@@ -158,7 +190,13 @@ func NewManager(cfg Config) (*Manager, error) {
 }
 
 // Directory exposes the object-group membership view (read-only use).
-func (m *Manager) Directory() *group.Directory { return m.dir }
+// The returned snapshot is internally synchronized but is replaced when
+// the manager resets after an exclusion; re-fetch rather than retain it.
+func (m *Manager) Directory() *group.Directory {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dir
+}
 
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
@@ -183,6 +221,10 @@ func (m *Manager) HostReplica(g ids.ObjectGroupID, key string, servant orb.Serva
 		return nil, fmt.Errorf("replication: group id %v is reserved", g)
 	}
 	m.mu.Lock()
+	if m.needSync {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("replication: processor %s awaiting directory resync", m.self)
+	}
 	if _, ok := m.hosted[g]; ok {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("replication: already hosting a replica of %s", g)
@@ -267,49 +309,134 @@ func (h *Handle) Leave() error {
 // the majority-voted marshaled IIOP Reply. Every replica of the client
 // object issues the same invocation; the invocation identifier (client
 // group, operation sequence) is identical across replicas (Figure 3), so
-// the server-side voter recognizes the copies.
+// the server-side voter recognizes the copies. The manager's CallTimeout
+// bounds the call.
 func (h *Handle) Invoke(target ids.ObjectGroupID, iiopRequest []byte) ([]byte, error) {
-	op, ch, err := h.prepare(target, iiopRequest, true)
+	return h.InvokeDeadline(target, iiopRequest, time.Time{})
+}
+
+// InvokeDeadline is Invoke with an explicit per-call deadline (zero means
+// now+CallTimeout). Within the deadline the invocation is re-sent up to
+// the configured retry budget, with jittered exponential backoff between
+// attempts; re-sends reuse the same operation identifier, so duplicate
+// detection discards the extra copies and at-most-once execution is
+// preserved. Failures wrap ErrTimeout, ErrNotActive, ErrQuorumLost, or
+// ErrGroupDegraded (match with errors.Is).
+func (h *Handle) InvokeDeadline(target ids.ObjectGroupID, iiopRequest []byte, deadline time.Time) ([]byte, error) {
+	if deadline.IsZero() {
+		deadline = time.Now().Add(h.m.callTimeout)
+	}
+	op, ch, raw, err := h.prepare(target, iiopRequest, true)
 	if err != nil {
 		return nil, err
 	}
-	select {
-	case reply := <-ch:
-		return reply, nil
-	case <-time.After(h.m.callTimeout):
-		h.m.mu.Lock()
-		delete(h.m.waiters, op)
-		h.m.mu.Unlock()
-		return nil, fmt.Errorf("replication: %s timed out awaiting voted response", op)
+	attempts := h.m.retries + 1
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for attempt := 0; ; attempt++ {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, h.m.timeoutError(op, target, deadline)
+		}
+		// Split the remaining window evenly over the attempts left, so
+		// every retry gets a fair share of the deadline.
+		window := remaining
+		if left := attempts - attempt; left > 1 {
+			window = remaining / time.Duration(left)
+		}
+		timer.Reset(window)
+		select {
+		case res := <-ch:
+			timer.Stop()
+			if res.err != nil {
+				return nil, res.err
+			}
+			return res.payload, nil
+		case <-timer.C:
+		}
+		if attempt+1 >= attempts {
+			return nil, h.m.timeoutError(op, target, deadline)
+		}
+		// Jittered backoff, then re-multicast the identical message (same
+		// operation id — voters discard copies of decided operations).
+		backoff := h.m.retryBackoff << uint(attempt)
+		if cap := 250 * time.Millisecond; backoff > cap {
+			backoff = cap
+		}
+		backoff = backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		if wait := time.Until(deadline); backoff > wait {
+			backoff = wait
+		}
+		if backoff > 0 {
+			timer.Reset(backoff)
+			select {
+			case res := <-ch:
+				timer.Stop()
+				if res.err != nil {
+					return nil, res.err
+				}
+				return res.payload, nil
+			case <-timer.C:
+			}
+		}
+		if err := h.m.stack.Submit(raw); err != nil {
+			return nil, h.m.timeoutError(op, target, deadline)
+		}
+	}
+}
+
+// timeoutError removes the waiter and classifies the failure by the state
+// of the target group: no live replicas (or an excluded self) is a lost
+// quorum; a live degree below ⌈(r+1)/2⌉ of the group's high-water degree
+// is degradation; otherwise a plain timeout.
+func (m *Manager) timeoutError(op ids.OperationID, target ids.ObjectGroupID, deadline time.Time) error {
+	m.mu.Lock()
+	delete(m.waiters, op)
+	size := m.dir.Size(target)
+	hw := m.degreeHW[target]
+	excluded := m.needSync
+	m.mu.Unlock()
+	switch {
+	case excluded || size == 0:
+		return fmt.Errorf("replication: %s to %s: %w", op, target, ErrQuorumLost)
+	case size < minCorrect(hw):
+		return fmt.Errorf("replication: %s to %s (%d/%d replicas live): %w",
+			op, target, size, hw, ErrGroupDegraded)
+	default:
+		return fmt.Errorf("replication: %s to %s gave no voted response by %s: %w",
+			op, target, deadline.Format("15:04:05.000"), ErrTimeout)
 	}
 }
 
 // InvokeOneWay performs a replicated one-way invocation (no response; the
 // packet-driver workload of §8).
 func (h *Handle) InvokeOneWay(target ids.ObjectGroupID, iiopRequest []byte) error {
-	_, _, err := h.prepare(target, iiopRequest, false)
+	_, _, _, err := h.prepare(target, iiopRequest, false)
 	return err
 }
 
 // prepare assigns the operation identifier, registers a waiter for two-way
-// calls, and multicasts the invocation.
-func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bool) (ids.OperationID, chan []byte, error) {
+// calls, and multicasts the invocation. It returns the marshaled message
+// so retries can re-send identical bytes.
+func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bool) (ids.OperationID, chan invokeResult, []byte, error) {
 	m := h.m
 	m.mu.Lock()
 	if !h.st.active {
 		m.mu.Unlock()
-		return ids.OperationID{}, nil, fmt.Errorf("replication: replica %s not yet active", h.st.id)
+		return ids.OperationID{}, nil, nil, fmt.Errorf("replication: replica %s: %w", h.st.id, ErrNotActive)
 	}
 	h.st.opSeq++
 	op := ids.OperationID{ClientGroup: h.st.id.Group, Seq: h.st.opSeq}
-	var ch chan []byte
+	var ch chan invokeResult
 	if twoway {
-		ch = make(chan []byte, 1)
+		ch = make(chan invokeResult, 1)
 		if cached, ok := m.respCache[op]; ok {
 			// The vote already decided off our peers' copies; hand the
 			// result straight back.
 			delete(m.respCache, op)
-			ch <- cached
+			ch <- invokeResult{payload: cached}
 		} else {
 			m.waiters[op] = ch
 		}
@@ -324,15 +451,16 @@ func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bo
 		Sender:  h.st.id,
 		Payload: iiopRequest,
 	}
-	if err := m.stack.Submit(msg.Marshal()); err != nil {
+	raw := msg.Marshal()
+	if err := m.stack.Submit(raw); err != nil {
 		if twoway {
 			m.mu.Lock()
 			delete(m.waiters, op)
 			m.mu.Unlock()
 		}
-		return op, nil, fmt.Errorf("replication: multicast invocation: %w", err)
+		return op, nil, nil, fmt.Errorf("replication: multicast invocation: %w", err)
 	}
-	return op, ch, nil
+	return op, ch, raw, nil
 }
 
 // HandleDelivery processes one totally ordered payload from the Secure
@@ -345,6 +473,18 @@ func (m *Manager) HandleDelivery(payload []byte) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.needSync {
+		m.bufferOrSyncLocked(msg)
+		return
+	}
+	if msg.Kind == group.KindDirectorySync {
+		return // a rejoiner's dump; this manager is already synced
+	}
+	m.applyLocked(msg)
+}
+
+// applyLocked dispatches one delivered group message. Caller holds m.mu.
+func (m *Manager) applyLocked(msg *group.Message) {
 	switch msg.Kind {
 	case group.KindJoin:
 		m.handleJoin(msg)
@@ -376,6 +516,9 @@ func (m *Manager) handleJoin(msg *group.Message) {
 	}
 	if !m.dir.Join(msg.Member) {
 		return // duplicate join
+	}
+	if size := m.dir.Size(msg.Member.Group); size > m.degreeHW[msg.Member.Group] {
+		m.degreeHW[msg.Member.Group] = size
 	}
 	m.joinSeq[msg.Member.Group]++
 	marker := m.joinSeq[msg.Member.Group]
@@ -544,7 +687,7 @@ func (m *Manager) handleResponse(msg *group.Message) {
 func (m *Manager) deliverResponseLocked(op ids.OperationID, payload []byte) {
 	if ch, ok := m.waiters[op]; ok {
 		delete(m.waiters, op)
-		ch <- payload
+		ch <- invokeResult{payload: payload}
 		return
 	}
 	if _, dup := m.respCache[op]; dup {
@@ -644,11 +787,27 @@ func (m *Manager) handleState(msg *group.Message) {
 	}
 }
 
-// OnProcessorMembershipChange applies a processor membership install: all
-// replicas hosted by excluded processors are removed from all object
-// groups (§3.1), their pending copies are dropped, and the voters are
-// rechecked (lower degrees may unblock majorities).
+// OnProcessorMembershipChange applies a processor membership install
+// without an install identifier (legacy entry point; no directory dump is
+// emitted and rejoin resynchronization is not tracked).
 func (m *Manager) OnProcessorMembershipChange(members []ids.ProcessorID) {
+	m.OnMembershipInstall(0, members)
+}
+
+// OnMembershipInstall applies a processor membership install (§3.1): all
+// replicas hosted by excluded processors are removed from all object
+// groups, their pending copies are dropped, and the voters are rechecked
+// (lower degrees may unblock majorities).
+//
+// If the local processor itself is excluded, the manager resets: the
+// directory is discarded, in-flight invocations fail with ErrQuorumLost,
+// and the manager refuses to host replicas until it rejoins and resyncs.
+// On the install that readmits it, the manager buffers deliveries until a
+// continuing member's directory dump for that install arrives, applies
+// the dump, and replays the buffer — reconstructing exactly the state the
+// continuing members hold. Continuing synced members multicast such a
+// dump at every install (installID != 0).
+func (m *Manager) OnMembershipInstall(installID uint64, members []ids.ProcessorID) {
 	alive := make(map[ids.ProcessorID]bool, len(members))
 	for _, p := range members {
 		alive[p] = true
@@ -656,7 +815,20 @@ func (m *Manager) OnProcessorMembershipChange(members []ids.ProcessorID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.vfd.setProcessors(len(members))
-	// Determine which processors disappeared, deterministically.
+	selfIn := alive[m.self]
+	if !selfIn {
+		m.resetLocked()
+		return
+	}
+	if m.needSync {
+		// Readmitted (or a further install arrived while still resyncing):
+		// restart the buffer at this install and await its dump.
+		m.syncID = installID
+		m.syncBuf = nil
+		return
+	}
+	// Continuing synced member: drop the excluded processors' replicas,
+	// deterministically.
 	var removedReplicas []ids.ReplicaID
 	for _, g := range m.dir.Groups() {
 		for _, r := range m.dir.Members(g) {
@@ -670,6 +842,223 @@ func (m *Manager) OnProcessorMembershipChange(members []ids.ProcessorID) {
 		m.removeReplicaLocked(r)
 	}
 	m.recheckLocked()
+	if installID != 0 {
+		m.emitSyncLocked(installID)
+	}
+}
+
+// resetLocked discards all group state after the local processor's
+// exclusion from the membership. In-flight two-way invocations fail with
+// ErrQuorumLost (no vote involving this processor can decide), hosted
+// replicas deactivate, and needSync blocks hosting until a directory dump
+// restores a consistent view. Caller holds m.mu.
+func (m *Manager) resetLocked() {
+	err := fmt.Errorf("replication: processor %s excluded from membership: %w", m.self, ErrQuorumLost)
+	for op, ch := range m.waiters {
+		delete(m.waiters, op)
+		ch <- invokeResult{err: err}
+	}
+	for _, st := range m.hosted {
+		st.active = false
+		st.backlog = nil
+	}
+	m.hosted = make(map[ids.ObjectGroupID]*replicaState)
+	m.dir = group.NewDirectory()
+	m.invVoter = voting.NewVoter(m.dir.Size)
+	m.respVoter = voting.NewVoter(m.dir.Size)
+	m.invDest = make(map[ids.OperationID]ids.ObjectGroupID)
+	m.joinSeq = make(map[ids.ObjectGroupID]uint64)
+	m.members = make(map[ids.ReplicaID]*memberInfo)
+	m.pending = make(map[ids.ReplicaID]*stateWait)
+	m.respCache = make(map[ids.OperationID][]byte)
+	m.respOrder = nil
+	m.degreeHW = make(map[ids.ObjectGroupID]int)
+	m.needSync = true
+	m.syncID = 0
+	m.syncBuf = nil
+}
+
+// bufferOrSyncLocked handles one delivery while the manager awaits a
+// directory dump. A matching dump is applied and the buffered tail
+// replayed; any other delivery is buffered. Caller holds m.mu.
+func (m *Manager) bufferOrSyncLocked(msg *group.Message) {
+	if msg.Kind == group.KindDirectorySync && m.syncID != 0 {
+		st, err := group.UnmarshalSyncState(msg.Payload)
+		if err != nil || st.InstallID != m.syncID {
+			return // malformed, or a dump for a different install
+		}
+		m.applySyncLocked(st)
+		m.needSync = false
+		m.syncID = 0
+		buf := m.syncBuf
+		m.syncBuf = nil
+		for _, b := range buf {
+			if b.Kind != group.KindDirectorySync {
+				m.applyLocked(b)
+			}
+		}
+		return
+	}
+	if m.syncID == 0 {
+		return // excluded, not yet readmitted: nothing to resync against
+	}
+	if len(m.syncBuf) >= syncBufLimit {
+		// Buffer exhausted without a dump: abandon this resync attempt.
+		// The manager stays unsynced (and refuses to host replicas) until
+		// a later install restarts it.
+		m.syncID = 0
+		m.syncBuf = nil
+		return
+	}
+	m.syncBuf = append(m.syncBuf, msg)
+}
+
+// emitSyncLocked multicasts this manager's directory state, captured at
+// the given membership install. The dump is captured inside the
+// membership-change notification — after the old ring's deliveries and
+// before any new-ring delivery — so every continuing member dumps
+// identical state at the same total-order position. Caller holds m.mu.
+func (m *Manager) emitSyncLocked(installID uint64) {
+	state := &group.SyncState{InstallID: installID}
+	seen := make(map[ids.ObjectGroupID]bool)
+	addGroup := func(g ids.ObjectGroupID) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		sg := group.SyncGroup{
+			ID:       g,
+			JoinSeq:  m.joinSeq[g],
+			DegreeHW: uint32(m.degreeHW[g]),
+		}
+		for _, r := range m.dir.Members(g) {
+			sm := group.SyncMember{Replica: r}
+			if mi := m.members[r]; mi != nil {
+				sm.Server, sm.Active = mi.server, mi.active
+			}
+			sg.Members = append(sg.Members, sm)
+		}
+		state.Groups = append(state.Groups, sg)
+	}
+	for _, g := range m.dir.Groups() {
+		addGroup(g)
+	}
+	// Groups that emptied out still carry monotone counters.
+	for g := range m.joinSeq {
+		addGroup(g)
+	}
+	for g := range m.degreeHW {
+		addGroup(g)
+	}
+	for joiner, w := range m.pending {
+		p := group.SyncPending{Joiner: joiner, Group: w.group, Marker: w.marker}
+		for r := range w.providers {
+			p.Providers = append(p.Providers, r)
+		}
+		for r := range w.got {
+			p.Got = append(p.Got, r)
+		}
+		for d, c := range w.counts {
+			p.Snaps = append(p.Snaps, group.SyncSnap{Digest: d, Count: uint32(c), Payload: w.pays[d]})
+		}
+		state.Pending = append(state.Pending, p)
+	}
+	msg := &group.Message{
+		Kind:    group.KindDirectorySync,
+		Dest:    ids.BaseGroup,
+		Sender:  ids.ReplicaID{Group: ids.BaseGroup, Processor: m.self},
+		Payload: state.Marshal(),
+	}
+	_ = m.stack.Submit(msg.Marshal())
+}
+
+// applySyncLocked installs a directory dump, replacing all group state.
+// Caller holds m.mu.
+func (m *Manager) applySyncLocked(state *group.SyncState) {
+	m.dir = group.NewDirectory()
+	m.invVoter = voting.NewVoter(m.dir.Size)
+	m.respVoter = voting.NewVoter(m.dir.Size)
+	m.invDest = make(map[ids.OperationID]ids.ObjectGroupID)
+	m.joinSeq = make(map[ids.ObjectGroupID]uint64)
+	m.members = make(map[ids.ReplicaID]*memberInfo)
+	m.pending = make(map[ids.ReplicaID]*stateWait)
+	m.degreeHW = make(map[ids.ObjectGroupID]int)
+	for _, g := range state.Groups {
+		m.joinSeq[g.ID] = g.JoinSeq
+		m.degreeHW[g.ID] = int(g.DegreeHW)
+		for _, mem := range g.Members {
+			m.dir.Join(mem.Replica)
+			m.members[mem.Replica] = &memberInfo{server: mem.Server, active: mem.Active}
+		}
+	}
+	for _, p := range state.Pending {
+		w := &stateWait{
+			group:     p.Group,
+			marker:    p.Marker,
+			providers: make(map[ids.ReplicaID]bool, len(p.Providers)),
+			got:       make(map[ids.ReplicaID]bool, len(p.Got)),
+			counts:    make(map[[sec.DigestSize]byte]int, len(p.Snaps)),
+			pays:      make(map[[sec.DigestSize]byte][]byte, len(p.Snaps)),
+		}
+		for _, r := range p.Providers {
+			w.providers[r] = true
+		}
+		w.need = group.Majority(len(p.Providers))
+		for _, r := range p.Got {
+			w.got[r] = true
+		}
+		for _, sn := range p.Snaps {
+			w.counts[sn.Digest] = int(sn.Count)
+			w.pays[sn.Digest] = sn.Payload
+		}
+		m.pending[p.Joiner] = w
+	}
+}
+
+// Synced reports whether the manager holds a consistent directory (false
+// between an exclusion and the completion of the rejoin resync).
+func (m *Manager) Synced() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.needSync
+}
+
+// ActiveCount returns the number of active replicas in a group.
+func (m *Manager) ActiveCount(g ids.ObjectGroupID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, r := range m.dir.Members(g) {
+		if mi := m.members[r]; mi != nil && mi.active {
+			n++
+		}
+	}
+	return n
+}
+
+// GroupDegreeHW returns the high-water degree ever observed for a group
+// (0 if the group was never seen).
+func (m *Manager) GroupDegreeHW(g ids.ObjectGroupID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degreeHW[g]
+}
+
+// EvictReplica multicasts a Leave on behalf of a replica that cannot
+// speak for itself (its processor withdrew or its activation never
+// completed). Every Replication Manager removes it at the Leave's
+// total-order position, exactly as a voluntary departure.
+func (m *Manager) EvictReplica(r ids.ReplicaID) error {
+	leave := &group.Message{
+		Kind:   group.KindLeave,
+		Dest:   ids.BaseGroup,
+		Member: r,
+		Target: r.Group,
+	}
+	if err := m.stack.Submit(leave.Marshal()); err != nil {
+		return fmt.Errorf("replication: evict %s: %w", r, err)
+	}
+	return nil
 }
 
 // recheckLocked drains decisions that became possible after a membership

@@ -550,11 +550,18 @@ func TestProcessorExclusionRemovesReplicas(t *testing.T) {
 	for _, m := range f.managers {
 		m.OnProcessorMembershipChange([]ids.ProcessorID{1, 2})
 	}
-	for i, m := range f.managers {
+	for i, m := range f.managers[:2] {
 		if m.Directory().Size(serverG) != 2 || m.Directory().Size(clientG) != 2 {
-			t.Fatalf("manager %d sizes: server %d client %d",
+			t.Fatalf("survivor %d sizes: server %d client %d",
 				i, m.Directory().Size(serverG), m.Directory().Size(clientG))
 		}
+	}
+	// The excluded processor resets: its directory empties and it must
+	// re-sync before it can participate again.
+	if ex := f.managers[2]; ex.Synced() ||
+		ex.Directory().Size(serverG) != 0 || ex.Directory().Size(clientG) != 0 {
+		t.Fatalf("excluded manager: synced=%v server %d client %d",
+			ex.Synced(), ex.Directory().Size(serverG), ex.Directory().Size(clientG))
 	}
 
 	// The two survivors still operate: majority of 2 is 2.

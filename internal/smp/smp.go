@@ -275,6 +275,10 @@ func (s *Stack) applyInstalls() {
 			s.cur = nil
 			s.curInst = inst
 			s.mu.Unlock()
+			// Adopt the view in the detector too: our silence suspicions
+			// of its members are stale (we were the detached one), and
+			// clearing them lets the readmission exchange proceed.
+			s.det.SetView(inst.Members)
 			if s.cfg.OnMembershipChange != nil {
 				s.cfg.OnMembershipChange(inst)
 			}
@@ -336,8 +340,10 @@ func (s *Stack) loop() {
 			// expected to stall; running the liveness walk then would
 			// pile false suspicions onto correct processors. The
 			// membership protocol's own unresponsive-reporting covers
-			// that phase.
-			if !s.mem.Forming() {
+			// that phase. An excluded processor (no ring) observes no
+			// token activity at all, so the walk would only poison its
+			// readmission exchange.
+			if !s.mem.Forming() && cur != nil {
 				s.det.Tick()
 			}
 			s.mem.Tick()

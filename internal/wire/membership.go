@@ -18,6 +18,10 @@ const (
 	// MembershipCommit announces that the sender has gathered matching
 	// proposals from every proposed member and is installing.
 	MembershipCommit
+	// MembershipAnnounce advertises the sender's installed membership to
+	// processors outside it, so that a repaired (previously excluded)
+	// processor learns the authoritative view and can request readmission.
+	MembershipAnnounce
 )
 
 // String returns the phase name.
@@ -27,6 +31,8 @@ func (k MembershipKind) String() string {
 		return "propose"
 	case MembershipCommit:
 		return "commit"
+	case MembershipAnnounce:
+		return "announce"
 	default:
 		return fmt.Sprintf("MembershipKind(%d)", byte(k))
 	}
@@ -118,7 +124,7 @@ func UnmarshalMembership(payload []byte) (*Membership, error) {
 	if err := r.done(); err != nil {
 		return nil, err
 	}
-	if m.Kind != MembershipPropose && m.Kind != MembershipCommit {
+	if m.Kind < MembershipPropose || m.Kind > MembershipAnnounce {
 		return nil, fmt.Errorf("wire: invalid membership kind %d", m.Kind)
 	}
 	return m, nil

@@ -295,3 +295,28 @@ func TestKindStrings(t *testing.T) {
 		t.Fatal("membership kind strings wrong")
 	}
 }
+
+func TestAnnounceRoundTrip(t *testing.T) {
+	m := &Membership{
+		Sender:    1,
+		Kind:      MembershipAnnounce,
+		InstallID: 7,
+		NewRing:   11,
+		Members:   []ids.ProcessorID{1, 2, 3, 4, 5},
+		Signature: []byte{9, 8},
+	}
+	got, err := UnmarshalMembership(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+	if MembershipAnnounce.String() != "announce" {
+		t.Fatalf("String() = %q", MembershipAnnounce.String())
+	}
+	if _, err := UnmarshalMembership((&Membership{Sender: 1,
+		Kind: MembershipAnnounce + 1, Members: []ids.ProcessorID{1}}).Marshal()); err == nil {
+		t.Fatal("kind past announce accepted")
+	}
+}
