@@ -417,6 +417,11 @@ func (s *System) HostGroup(g ids.ObjectGroupID, objectKey string, degree int,
 	if len(hosts) != degree {
 		return nil, fmt.Errorf("core: %d hosts for degree %d", len(hosts), degree)
 	}
+	for _, p := range hosts {
+		if _, ok := s.procs[p]; !ok {
+			return nil, fmt.Errorf("core: no processor %s", p)
+		}
+	}
 	s.mu.Lock()
 	if _, dup := s.specs[g]; dup {
 		s.mu.Unlock()
@@ -424,20 +429,33 @@ func (s *System) HostGroup(g ids.ObjectGroupID, objectKey string, degree int,
 	}
 	s.specs[g] = &groupSpec{key: objectKey, degree: degree, factory: factory}
 	s.mu.Unlock()
+	// Roll back on any failure below: a partially hosted group would
+	// otherwise block a retry ("already hosted") while the recovery
+	// bootstrap guard (degree high-water < degree) keeps it permanently
+	// below its configured degree with no events.
+	rollback := func(placed []ids.ProcessorID) {
+		s.rec.Deregister(g)
+		s.mu.Lock()
+		delete(s.specs, g)
+		s.mu.Unlock()
+		for _, p := range placed {
+			_ = s.procs[p].mgr.EvictReplica(ids.ReplicaID{Group: g, Processor: p})
+		}
+	}
 	if err := s.rec.Register(g, degree); err != nil {
+		rollback(nil)
 		return nil, err
 	}
 	handles := make([]*replication.Handle, 0, degree)
+	placed := make([]ids.ProcessorID, 0, degree)
 	for _, p := range hosts {
-		proc, ok := s.procs[p]
-		if !ok {
-			return nil, fmt.Errorf("core: no processor %s", p)
-		}
-		h, err := proc.mgr.HostReplica(g, objectKey, factory())
+		h, err := s.procs[p].mgr.HostReplica(g, objectKey, factory())
 		if err != nil {
+			rollback(placed)
 			return nil, err
 		}
 		handles = append(handles, h)
+		placed = append(placed, p)
 	}
 	return handles, nil
 }

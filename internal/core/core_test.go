@@ -390,6 +390,76 @@ func TestReplicaReallocationAfterCrash(t *testing.T) {
 	}
 }
 
+// TestHostGroupRollsBackOnPartialFailure: if hosting fails partway (one
+// of the chosen processors cannot take its replica), the spec, the
+// recovery registration, and the replicas already placed must all be
+// rolled back so the group can be hosted again.
+func TestHostGroupRollsBackOnPartialFailure(t *testing.T) {
+	sys, err := NewSystem(Config{Processors: 4, Level: sec.LevelNone, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	t.Cleanup(sys.Stop)
+
+	const g = ids.ObjectGroupID(30)
+	const key = "KV/rollback"
+
+	// Pre-host a replica of g on P3 so HostGroup's third placement (default
+	// hosts P1-P3) fails with "already hosting".
+	p3, _ := sys.Processor(3)
+	pre, err := p3.HostServer(g, key, newKVServant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pre.WaitActive(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sys.HostGroup(g, key, 3, func() orb.Servant { return newKVServant() }); err == nil {
+		t.Fatal("partial HostGroup reported success")
+	}
+
+	// The spec and recovery registration are gone.
+	for _, gh := range sys.Health().Groups {
+		if gh.Group == g && gh.Managed {
+			t.Fatalf("rolled-back group still managed: %+v", gh)
+		}
+	}
+	// The replicas placed on P1 and P2 are evicted; only the pre-hosted
+	// replica on P3 remains.
+	p1, _ := sys.Processor(1)
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		ms := p1.GroupMembers(g)
+		if len(ms) == 1 && ms[0].Processor == 3 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ms := p1.GroupMembers(g); len(ms) != 1 || ms[0].Processor != 3 {
+		t.Fatalf("placed replicas not rolled back: %v", ms)
+	}
+
+	// With the stray replica removed, hosting the group again succeeds —
+	// a retry is not blocked by a half-committed first attempt.
+	if err := p3.Manager().EvictReplica(ids.ReplicaID{Group: g, Processor: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for time.Now().Before(deadline) && len(p1.GroupMembers(g)) != 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	handles, err := sys.HostGroup(g, key, 3, func() orb.Servant { return newKVServant() })
+	if err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+	for i, h := range handles {
+		if err := h.WaitActive(20 * time.Second); err != nil {
+			t.Fatalf("retried replica %d: %v", i, err)
+		}
+	}
+}
+
 func TestSurvivabilityArithmetic(t *testing.T) {
 	for n, k := range map[int]int{1: 0, 3: 0, 4: 1, 6: 1, 7: 2, 10: 3} {
 		if got := MaxFaulty(n); got != k {

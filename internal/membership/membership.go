@@ -376,7 +376,8 @@ func (m *Membership) HandleMessage(raw []byte) {
 	}
 	if msg.InstallID != m.current.ID+1 {
 		if msg.Kind == wire.MembershipPropose && !m.isMember(m.cfg.Self) &&
-			msg.InstallID > m.current.ID+1 && m.isMember(msg.Sender) {
+			msg.InstallID > m.current.ID+1 && msg.NewRing > 0 &&
+			m.isMember(msg.Sender) {
 			// A rejoining processor cannot observe the members' commits, so
 			// its notion of the install sequence falls behind while the
 			// members keep reconfiguring (each readmission attempt that
@@ -445,16 +446,25 @@ func (m *Membership) HandleMessage(raw []byte) {
 // handleAnnounce considers adopting an advertised installed view. Only a
 // processor outside the announced membership adopts (members follow their
 // own installs); the announcer must itself be a member; and the announced
-// view must supersede ours — a later install, or the same install with a
-// strictly larger membership, which prevents the survivors of a crash
-// from adopting the detached processor's singleton view while letting the
-// detached processor adopt theirs. Adoption installs the view (excluding
-// self), which tears down any stale ring and clears non-sticky
-// suspicions, and schedules an immediate readmission request.
+// view must supersede ours. For a processor still inside its own
+// installed view, supersede means a strictly larger membership at any
+// install — a higher install identifier alone is not enough, since any
+// single signer can mint an arbitrarily high InstallID, and a processor
+// holding an intact view should only abandon it for a view that a larger
+// population agreed on. This prevents the survivors of a crash from
+// adopting the detached processor's singleton view while letting the
+// detached processor (whose view has shrunk to itself) adopt theirs. A
+// processor already outside its own adopted view keeps the permissive
+// rule — any later install, or the same install with a strictly larger
+// membership — so its rejoin requests track the survivors' reconfigurations.
+// Adoption installs the view (excluding self), which tears down any stale
+// ring and clears non-sticky suspicions, and schedules an immediate
+// readmission request.
 //
-// A Byzantine announcer can sign a fabricated larger view and force a
-// correct excluded processor to chase it; see DESIGN.md for this residual
-// gap (the original protocol closes it with Byzantine agreement).
+// A Byzantine announcer can still sign a fabricated strictly-larger view
+// and force a correct excluded processor to chase it; see DESIGN.md for
+// this residual gap (the original protocol closes it with Byzantine
+// agreement).
 func (m *Membership) handleAnnounce(msg *wire.Membership) {
 	selfIn, senderIn := false, false
 	for _, p := range msg.Members {
@@ -464,6 +474,11 @@ func (m *Membership) handleAnnounce(msg *wire.Membership) {
 		if p == msg.Sender {
 			senderIn = true
 		}
+		if !m.cfg.Suite.Known(p) {
+			// A fabricated view padded with nonexistent processors could
+			// otherwise satisfy the strictly-larger rule below.
+			return
+		}
 	}
 	if selfIn || !senderIn {
 		return
@@ -472,8 +487,11 @@ func (m *Membership) handleAnnounce(msg *wire.Membership) {
 		return
 	}
 	if msg.InstallID == m.current.ID &&
-		(wire.SameMembers(msg.Members, m.current.Members) ||
-			len(msg.Members) <= len(m.current.Members)) {
+		wire.SameMembers(msg.Members, m.current.Members) {
+		return
+	}
+	if len(msg.Members) <= len(m.current.Members) &&
+		(msg.InstallID == m.current.ID || m.isMember(m.cfg.Self)) {
 		return
 	}
 	m.install(msg.Members, msg.InstallID, msg.NewRing)
@@ -640,7 +658,7 @@ func (m *Membership) plausible(members []ids.ProcessorID, sender ids.ProcessorID
 		if p == sender {
 			senderIn = true
 		}
-		if m.cfg.Source.Suspected(p) {
+		if m.cfg.Source.Suspected(p) || !m.cfg.Suite.Known(p) {
 			return false
 		}
 	}

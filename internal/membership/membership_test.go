@@ -509,20 +509,31 @@ func TestAnnounceDrivenRejoin(t *testing.T) {
 	members := []ids.ProcessorID{1, 2, 3, 4}
 	sim := newMemberSim(t, members, sec.LevelSignatures)
 	sim.dropTo[4] = true
-	for _, p := range []ids.ProcessorID{1, 2, 3} {
-		sim.sources[p].suspects[4] = true
-	}
 	live := []ids.ProcessorID{1, 2, 3}
-	sim.run(200, 1, live)
+	for _, p := range live {
+		sim.sources[p].suspects[4] = true
+		// The detached P4 hears nothing either: its own detector times the
+		// survivors out and it installs a singleton view. (A processor
+		// still holding its old, larger view ignores the survivors'
+		// smaller announce; the shrink is what makes the announce a
+		// strictly larger, adoptable view.)
+		sim.sources[4].suspects[p] = true
+	}
+	sim.run(200, 1, members)
 	if len(sim.installs[1]) == 0 || !wire.SameMembers(sim.installs[1][0].Members, live) {
 		t.Fatalf("survivors never excluded P4: %+v", sim.installs[1])
 	}
+	if len(sim.installs[4]) == 0 || !wire.SameMembers(sim.installs[4][0].Members, []ids.ProcessorID{4}) {
+		t.Fatalf("detached P4 never installed its singleton view: %+v", sim.installs[4])
+	}
 
-	// P4 recovers: its network path is restored and the survivors'
-	// detectors no longer suspect it.
+	// P4 recovers: its network path is restored, the survivors' detectors
+	// no longer suspect it, and its own (non-sticky) silence suspicions
+	// clear.
 	sim.dropTo[4] = false
 	for _, p := range live {
 		delete(sim.sources[p].suspects, 4)
+		delete(sim.sources[4].suspects, p)
 	}
 
 	readmitted := func(p ids.ProcessorID) bool {
@@ -585,5 +596,93 @@ func TestAnnounceRejectedWhenStaleOrSelfIncluded(t *testing.T) {
 	m.HandleMessage(stale.Marshal())
 	if !wire.SameMembers(m.Current().Members, members) {
 		t.Fatal("stale announce adopted")
+	}
+}
+
+func TestByzantineAnnounceCannotEvictIntactMember(t *testing.T) {
+	// A single Byzantine member must not be able to make a correct member
+	// abandon its installed view by announcing a fabricated view with a
+	// far-future install identifier: any signer can mint install numbers,
+	// so a processor still inside its own view only yields to a strictly
+	// larger announced membership of known processors.
+	members := []ids.ProcessorID{1, 2, 3, 4}
+	sim := newMemberSim(t, members, sec.LevelSignatures)
+	m := sim.insts[1]
+
+	// Fabricated smaller view, install jumped two ahead.
+	small := &wire.Membership{
+		Sender: 2, Kind: wire.MembershipAnnounce, InstallID: 3, NewRing: 3,
+		Members: []ids.ProcessorID{2},
+	}
+	if err := sim.insts[2].sign(small); err != nil {
+		t.Fatal(err)
+	}
+	m.HandleMessage(small.Marshal())
+	if got := m.Current(); got.ID != 1 || !wire.SameMembers(got.Members, members) {
+		t.Fatalf("intact member adopted fabricated smaller view: %+v", got)
+	}
+
+	// Fabricated "larger" view padded with processors that hold no
+	// registered keys — must not satisfy the strictly-larger rule.
+	padded := &wire.Membership{
+		Sender: 2, Kind: wire.MembershipAnnounce, InstallID: 3, NewRing: 3,
+		Members: []ids.ProcessorID{2, 3, 4, 90, 91},
+	}
+	if err := sim.insts[2].sign(padded); err != nil {
+		t.Fatal(err)
+	}
+	m.HandleMessage(padded.Marshal())
+	if got := m.Current(); got.ID != 1 || !wire.SameMembers(got.Members, members) {
+		t.Fatalf("intact member adopted view padded with unknown processors: %+v", got)
+	}
+	if len(sim.installs[1]) != 0 {
+		t.Fatalf("fabricated announces triggered installs: %+v", sim.installs[1])
+	}
+}
+
+func TestRejoinFastForwardRejectsZeroRing(t *testing.T) {
+	// The rejoin fast-forward derives the adopted ring as NewRing-1; a
+	// signed propose carrying NewRing 0 must be rejected rather than
+	// underflow the ring identifier.
+	members := []ids.ProcessorID{1, 2, 3}
+	sim := newMemberSim(t, members, sec.LevelSignatures)
+	m := sim.insts[1]
+
+	// Detach P1: it suspects the silent peers, installs a singleton view,
+	// then adopts the announced (strictly larger) survivor view — leaving
+	// it outside its own current view, where the fast-forward applies.
+	sim.sources[1].suspects[2] = true
+	sim.sources[1].suspects[3] = true
+	m.Tick()
+	sim.clock = sim.clock.Add(2 * time.Millisecond)
+	m.Tick()
+	if got := m.Current(); !wire.SameMembers(got.Members, []ids.ProcessorID{1}) {
+		t.Fatalf("singleton view not installed: %+v", got)
+	}
+	delete(sim.sources[1].suspects, 2)
+	delete(sim.sources[1].suspects, 3)
+	ann := &wire.Membership{
+		Sender: 2, Kind: wire.MembershipAnnounce, InstallID: 3, NewRing: 3,
+		Members: []ids.ProcessorID{2, 3},
+	}
+	if err := sim.insts[2].sign(ann); err != nil {
+		t.Fatal(err)
+	}
+	m.HandleMessage(ann.Marshal())
+	if got := m.Current(); got.ID != 3 || got.Ring != 3 {
+		t.Fatalf("announce not adopted: %+v", got)
+	}
+
+	bad := &wire.Membership{
+		Sender: 2, Kind: wire.MembershipPropose, Attempt: 1,
+		InstallID: 5, NewRing: 0,
+		Members: []ids.ProcessorID{1, 2, 3},
+	}
+	if err := sim.insts[2].sign(bad); err != nil {
+		t.Fatal(err)
+	}
+	m.HandleMessage(bad.Marshal())
+	if got := m.Current(); got.Ring != 3 {
+		t.Fatalf("zero-ring fast-forward desynced ring numbering: %+v", got)
 	}
 }

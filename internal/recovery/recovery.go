@@ -179,10 +179,11 @@ type Manager struct {
 	specs  map[ids.ObjectGroupID]*groupState
 	events []Event // ring, newest last
 
-	kick    chan struct{}
-	stop    chan struct{}
-	done    chan struct{}
-	started bool
+	kick     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	started  bool
+	stopping bool
 }
 
 // New creates a Manager (not yet running).
@@ -233,10 +234,19 @@ func (m *Manager) Register(g ids.ObjectGroupID, degree int) error {
 	return nil
 }
 
-// Start launches the reconciliation loop. Starting twice is a no-op.
+// Deregister removes a group from automatic recovery (used to roll back a
+// hosting attempt that failed partway). Unknown groups are a no-op.
+func (m *Manager) Deregister(g ids.ObjectGroupID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.specs, g)
+}
+
+// Start launches the reconciliation loop. Starting twice, or after Stop,
+// is a no-op.
 func (m *Manager) Start() {
 	m.mu.Lock()
-	if m.started {
+	if m.started || m.stopping {
 		m.mu.Unlock()
 		return
 	}
@@ -245,14 +255,14 @@ func (m *Manager) Start() {
 	go m.loop()
 }
 
-// Stop terminates the loop and waits for it to exit.
+// Stop terminates the loop and waits for it to exit. Safe to call
+// concurrently and repeatedly.
 func (m *Manager) Stop() {
-	select {
-	case <-m.stop:
-	default:
+	m.mu.Lock()
+	if !m.stopping {
+		m.stopping = true
 		close(m.stop)
 	}
-	m.mu.Lock()
 	started := m.started
 	m.mu.Unlock()
 	if started {

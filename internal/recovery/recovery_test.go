@@ -2,6 +2,7 @@ package recovery
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -314,4 +315,52 @@ func TestStartStopIdempotent(t *testing.T) {
 	m.Kick()
 	m.Stop()
 	m.Stop()
+	m.Start() // after Stop: must not revive the loop
+}
+
+func TestStopConcurrent(t *testing.T) {
+	c := &fakeCluster{
+		view:  []ids.ProcessorID{1},
+		hosts: map[ids.ObjectGroupID][]ids.ProcessorID{},
+		hw:    map[ids.ObjectGroupID]int{},
+	}
+	m, err := New(Config{Cluster: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Stop()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDeregister(t *testing.T) {
+	c := &fakeCluster{
+		view:  []ids.ProcessorID{1, 2, 3},
+		hosts: map[ids.ObjectGroupID][]ids.ProcessorID{testG: {1}},
+		hw:    map[ids.ObjectGroupID]int{testG: 3},
+	}
+	m, err := New(Config{Cluster: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(testG, 3); err != nil {
+		t.Fatal(err)
+	}
+	m.Deregister(testG)
+	m.reconcile()
+	if len(c.placements) != 0 {
+		t.Fatalf("deregistered group still placed: %v", c.placements)
+	}
+	for _, gh := range m.Health().Groups {
+		if gh.Group == testG && gh.Managed {
+			t.Fatalf("deregistered group still managed: %+v", gh)
+		}
+	}
 }

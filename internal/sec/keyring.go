@@ -96,6 +96,18 @@ func (s *Suite) SignToken(tokenBytes []byte) ([]byte, error) {
 	return sig, nil
 }
 
+// Known reports whether the processor has a registered public key, i.e.
+// belongs to the fixed processor universe the key distribution covers. At
+// levels below LevelSignatures there is no key directory and every
+// processor is accepted, matching those levels' weaker threat model.
+func (s *Suite) Known(p ids.ProcessorID) bool {
+	if s.Level < LevelSignatures || s.Ring == nil {
+		return true
+	}
+	_, err := s.Ring.Lookup(p)
+	return err == nil
+}
+
 // VerifyToken checks a token signature against the claimed sender's public
 // key. At levels below LevelSignatures every token is accepted.
 func (s *Suite) VerifyToken(sender ids.ProcessorID, tokenBytes, sig []byte) bool {
