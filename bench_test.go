@@ -15,6 +15,10 @@ import (
 	"time"
 
 	"immune"
+	"immune/internal/ids"
+	"immune/internal/iiop"
+	"immune/internal/sec"
+	"immune/internal/wire"
 )
 
 const (
@@ -271,6 +275,173 @@ func BenchmarkTwoWayInvoke(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rpc/sec")
+}
+
+// --- Hot-path micro-benchmarks ---
+//
+// The end-to-end Figure 7 cases above measure latency-bound system
+// throughput; the micro-benchmarks below isolate the per-operation cost of
+// the protocol hot path — token sign/verify (the case-4 tax) and the wire
+// and GIOP encode/decode paths — so a regression in any one layer shows up
+// directly instead of hiding inside system noise. Run with:
+//
+//	go test -bench=HotPath -benchmem .
+
+// microSuites builds two signature-level suites (a signer and a verifier)
+// sharing one key ring, mirroring a two-processor exchange.
+func microSuites(b *testing.B) (signer, verifier *sec.Suite) {
+	b.Helper()
+	kr := sec.NewKeyRing()
+	var kps [2]*sec.KeyPair
+	for i := range kps {
+		kp, err := sec.GenerateKeyPair(sec.DefaultModulusBits, sec.NewSeededReader(uint64(i)+7000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		kps[i] = kp
+		kr.Register(ids.ProcessorID(i+1), kp.Public())
+	}
+	s1, err := sec.NewSuite(sec.LevelSignatures, 1, kps[0], kr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s2, err := sec.NewSuite(sec.LevelSignatures, 2, kps[1], kr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s1, s2
+}
+
+// microToken is a representative mid-rotation token.
+func microToken() *wire.Token {
+	return &wire.Token{
+		Sender: 1, Ring: 1, Visit: 30, Seq: 12, Aru: 10, AruSetter: 2,
+		RtrList: []uint64{11},
+		DigestList: []wire.DigestEntry{
+			{Seq: 11, Digest: sec.Digest([]byte("m11"))},
+			{Seq: 12, Digest: sec.Digest([]byte("m12"))},
+		},
+		PrevTokenDigest: sec.Digest([]byte("prev")),
+	}
+}
+
+func BenchmarkHotPathTokenSign(b *testing.B) {
+	signer, _ := microSuites(b)
+	sp := microToken().SignedPortion()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := signer.SignToken(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotPathTokenVerify(b *testing.B) {
+	signer, verifier := microSuites(b)
+	sp := microToken().SignedPortion()
+	sig, err := signer.SignToken(sp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !verifier.VerifyToken(1, sp, sig) {
+			b.Fatal("valid signature rejected")
+		}
+	}
+}
+
+// BenchmarkHotPathTokenVerifyBatch measures the bounded-worker parallel
+// fan-out used by the event loop's batch preverification.
+func BenchmarkHotPathTokenVerifyBatch(b *testing.B) {
+	signer, verifier := microSuites(b)
+	const batch = 8
+	items := make([]sec.TokenVerification, batch)
+	for i := range items {
+		tok := microToken()
+		tok.Visit += uint64(i)
+		sp := tok.SignedPortion()
+		sig, err := signer.SignToken(sp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items[i] = sec.TokenVerification{Sender: 1, Signed: sp, Sig: sig}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, okv := range verifier.VerifyTokenBatch(items) {
+			if !okv {
+				b.Fatal("valid signature rejected")
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "verifies/sec")
+}
+
+func BenchmarkHotPathTokenMarshal(b *testing.B) {
+	sig := make([]byte, 38)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tok := microToken()
+		tok.Signature = sig
+		_ = tok.Marshal()
+	}
+}
+
+func BenchmarkHotPathTokenUnmarshal(b *testing.B) {
+	tok := microToken()
+	tok.Signature = make([]byte, 38)
+	raw := tok.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := wire.UnmarshalToken(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = d.SignedPortion()
+	}
+}
+
+func BenchmarkHotPathRegularRoundTrip(b *testing.B) {
+	raw := (&wire.Regular{Sender: 2, Ring: 1, Seq: 7, Contents: make([]byte, 64)}).Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := wire.UnmarshalRegular(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = m.Digest()
+	}
+}
+
+func BenchmarkHotPathRequestMarshal(b *testing.B) {
+	req := &iiop.Request{
+		RequestID:        7,
+		ResponseExpected: true,
+		ObjectKey:        []byte("group:42"),
+		Operation:        "push",
+		Principal:        []byte{},
+		Body:             make([]byte, 128),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = req.Marshal()
+	}
+}
+
+func BenchmarkHotPathRequestParse(b *testing.B) {
+	req := &iiop.Request{
+		RequestID: 7, ResponseExpected: true,
+		ObjectKey: []byte("group:42"), Operation: "push",
+		Principal: []byte{}, Body: make([]byte, 128),
+	}
+	raw := req.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := iiop.Parse(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkMessageSizes sweeps the invocation body size at full

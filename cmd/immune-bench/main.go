@@ -14,6 +14,14 @@
 //
 // Output is a CSV-ish table: one row per client interval, one column per
 // case.
+//
+// With -json PATH the tool instead measures the per-invocation cost of
+// each case b.N-style (testing.Benchmark, same methodology as the
+// benchmark suite) and writes a machine-readable report — ns/op,
+// allocs/op, B/op per case, alongside the recorded pre-change baselines —
+// e.g.:
+//
+//	go run ./cmd/immune-bench -json BENCH_2.json
 package main
 
 import (
@@ -41,8 +49,16 @@ func main() {
 	cases := flag.String("cases", "1,2,3,4", "comma-separated cases to run")
 	workFactor := flag.Int("workfactor", 1,
 		"crypto work factor: 1 = modern hardware, ~100 = calibrated to the paper's 167 MHz testbed")
+	jsonPath := flag.String("json", "",
+		"write a machine-readable per-invocation cost report (cases 1-4) to this path instead of the interval sweep")
 	flag.Parse()
 
+	if *jsonPath != "" {
+		if err := runJSON(*jsonPath, *payload, *workFactor); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := run(*duration, *payload, *intervals, *cases, *workFactor); err != nil {
 		log.Fatal(err)
 	}

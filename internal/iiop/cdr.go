@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // CDR alignment rules: primitive types are aligned to their size relative
@@ -31,6 +32,43 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 
 // Len returns the current encoding length.
 func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset truncates the encoder for reuse, keeping the backing buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Grow ensures capacity for at least n more octets, so a marshal whose
+// size is known up front costs at most one buffer allocation.
+func (e *Encoder) Grow(n int) {
+	if cap(e.buf)-len(e.buf) >= n {
+		return
+	}
+	next := make([]byte, len(e.buf), len(e.buf)+n)
+	copy(next, e.buf)
+	e.buf = next
+}
+
+// encoderPool recycles encoder buffers across marshals on the invocation
+// hot path. Buffers that grew beyond pooledEncoderCap are dropped so one
+// giant message cannot pin memory in the pool forever.
+var encoderPool = sync.Pool{New: func() any { return &Encoder{buf: make([]byte, 0, 256)} }}
+
+const pooledEncoderCap = 1 << 16
+
+// GetEncoder returns an empty encoder from the pool.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns an encoder to the pool. The caller must not use the
+// encoder (or any buffer obtained from Bytes) after PutEncoder.
+func PutEncoder(e *Encoder) {
+	if cap(e.buf) > pooledEncoderCap {
+		return
+	}
+	encoderPool.Put(e)
+}
 
 // align pads the buffer to a multiple of n with zero octets.
 func (e *Encoder) align(n int) {

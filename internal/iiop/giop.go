@@ -123,8 +123,13 @@ type Request struct {
 }
 
 // Marshal produces the full IIOP octet stream (GIOP header + request).
+// The CDR scratch buffer is pooled; the returned frame is a fresh
+// allocation the caller owns.
 func (r *Request) Marshal() []byte {
-	e := NewEncoder()
+	e := GetEncoder()
+	defer PutEncoder(e)
+	// Upper bound: fixed header fields plus worst-case alignment padding.
+	e.Grow(32 + len(r.ObjectKey) + len(r.Operation) + len(r.Principal) + len(r.Body))
 	e.WriteULong(0) // service_context: empty sequence
 	e.WriteULong(r.RequestID)
 	e.WriteBoolean(r.ResponseExpected)
@@ -143,8 +148,12 @@ type Reply struct {
 }
 
 // Marshal produces the full IIOP octet stream (GIOP header + reply).
+// The CDR scratch buffer is pooled; the returned frame is a fresh
+// allocation the caller owns.
 func (r *Reply) Marshal() []byte {
-	e := NewEncoder()
+	e := GetEncoder()
+	defer PutEncoder(e)
+	e.Grow(12 + len(r.Body))
 	e.WriteULong(0) // service_context: empty sequence
 	e.WriteULong(r.RequestID)
 	e.WriteULong(uint32(r.Status))

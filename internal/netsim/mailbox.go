@@ -12,10 +12,17 @@ type mailbox struct {
 	cond   *sync.Cond
 	queue  []Frame
 	closed bool
+	// notify is a capacity-1 edge trigger for select-based receivers: a
+	// put makes it readable, so an event loop can sleep in a select
+	// instead of polling tryGet. A received notification promises only
+	// "the mailbox may be non-empty"; receivers must still drain via
+	// tryGet. Closed together with the mailbox so selecting loops wake
+	// for shutdown too.
+	notify chan struct{}
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{}
+	m := &mailbox{notify: make(chan struct{}, 1)}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -30,6 +37,10 @@ func (m *mailbox) put(f Frame) {
 	}
 	m.queue = append(m.queue, f)
 	m.cond.Signal()
+	select {
+	case m.notify <- struct{}{}:
+	default: // already signaled; one pending notification suffices
+	}
 }
 
 // get blocks until a frame is available or the mailbox is closed. The
@@ -66,8 +77,12 @@ func (m *mailbox) tryGet() (Frame, bool) {
 func (m *mailbox) close() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
 	m.closed = true
 	m.cond.Broadcast()
+	close(m.notify)
 }
 
 // len reports the number of queued frames.

@@ -341,6 +341,12 @@ func (e *Endpoint) Recv() (f Frame, ok bool) { return e.box.get() }
 // TryRecv returns the next frame if one is queued, without blocking.
 func (e *Endpoint) TryRecv() (f Frame, ok bool) { return e.box.tryGet() }
 
+// Notify returns a channel that becomes readable when a frame may have
+// arrived and is closed when the network shuts down. It is an edge
+// trigger, not a frame count: after receiving from it, drain with TryRecv
+// until empty. It lets event loops sleep in a select instead of polling.
+func (e *Endpoint) Notify() <-chan struct{} { return e.box.notify }
+
 // Pending reports the number of queued incoming frames.
 func (e *Endpoint) Pending() int { return e.box.len() }
 

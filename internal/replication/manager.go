@@ -631,8 +631,9 @@ func (m *Manager) handleInvocation(msg *group.Message) {
 		return // sender is not a current member of its claimed group
 	}
 	m.invDest[msg.Op] = msg.Dest
-	out := m.invVoter.Offer(msg.Op, msg.Sender, msg.Payload)
-	m.noteOutcome(msg, out)
+	d := sec.Digest(msg.Payload)
+	out := m.invVoter.OfferDigest(msg.Op, msg.Sender, msg.Payload, d)
+	m.noteOutcome(msg, out, d)
 	if !out.Decided {
 		return
 	}
@@ -673,8 +674,9 @@ func (m *Manager) handleResponse(msg *group.Message) {
 	if !m.dir.Contains(msg.Sender) {
 		return
 	}
-	out := m.respVoter.Offer(msg.Op, msg.Sender, msg.Payload)
-	m.noteOutcome(msg, out)
+	d := sec.Digest(msg.Payload)
+	out := m.respVoter.OfferDigest(msg.Op, msg.Sender, msg.Payload, d)
+	m.noteOutcome(msg, out, d)
 	if !out.Decided {
 		return
 	}
@@ -703,8 +705,10 @@ func (m *Manager) deliverResponseLocked(op ids.OperationID, payload []byte) {
 }
 
 // noteOutcome records duplicate/deviant information from a voter outcome
-// and runs the value-fault protocol of §6.2. Caller holds m.mu.
-func (m *Manager) noteOutcome(msg *group.Message, out voting.Outcome) {
+// and runs the value-fault protocol of §6.2. d is the digest of
+// msg.Payload, computed once by the caller and shared with the voter.
+// Caller holds m.mu.
+func (m *Manager) noteOutcome(msg *group.Message, out voting.Outcome, d [sec.DigestSize]byte) {
 	if out.Duplicate {
 		m.stats.DuplicatesDiscarded++
 	}
@@ -720,9 +724,9 @@ func (m *Manager) noteOutcome(msg *group.Message, out voting.Outcome) {
 	// Local observation, then a Value_Fault_Vote to the base group so
 	// that every Replication Manager reaches the same verdict (§6.2).
 	votes := make([]group.VoteEntry, 0, len(deviants))
-	for _, d := range deviants {
-		m.vfd.localObservation(m.self, d)
-		votes = append(votes, group.VoteEntry{Sender: d, Digest: sec.Digest(msg.Payload)})
+	for _, dev := range deviants {
+		m.vfd.localObservation(m.self, dev)
+		votes = append(votes, group.VoteEntry{Sender: dev, Digest: d})
 	}
 	vote := &group.Message{
 		Kind:   group.KindValueFaultVote,

@@ -51,6 +51,28 @@ type Transport interface {
 	Multicast(payload []byte)
 }
 
+// CryptoSuite is the slice of the cryptographic suite the ring depends
+// on. *sec.Suite implements it; tests substitute counting or faulting
+// stubs to pin down exactly how often the RSA machinery runs.
+type CryptoSuite interface {
+	// SecurityLevel returns the security level in force.
+	SecurityLevel() sec.Level
+	// SignToken signs the given token bytes (nil signature below
+	// sec.LevelSignatures).
+	SignToken(tokenBytes []byte) ([]byte, error)
+	// VerifyToken checks a token signature against the claimed sender's
+	// public key (always true below sec.LevelSignatures).
+	VerifyToken(sender ids.ProcessorID, tokenBytes, sig []byte) bool
+}
+
+// BatchVerifier is the optional batch extension of CryptoSuite: verify
+// many independent signatures with bounded parallelism, results in item
+// order. *sec.Suite implements it; PreverifyTokens falls back to serial
+// verification when the suite does not.
+type BatchVerifier interface {
+	VerifyTokenBatch(items []sec.TokenVerification) []bool
+}
+
 // Observer receives protocol events of interest to the Byzantine fault
 // detector (§7.3). All methods are invoked from the ring's event goroutine
 // and must not block. A nil Observer is permitted on Config.
@@ -100,7 +122,7 @@ type Config struct {
 	Self    ids.ProcessorID
 	Members []ids.ProcessorID // the installed processor membership, sorted
 	Ring    ids.RingID
-	Suite   *sec.Suite
+	Suite   CryptoSuite
 	Trans   Transport
 	// Deliver receives messages in total order. Required.
 	Deliver func(*wire.Regular)
@@ -112,9 +134,12 @@ type Config struct {
 	// TokenTimeout is how long the last token sender waits for evidence
 	// of progress before retransmitting its token; 0 means 10ms.
 	TokenTimeout time.Duration
-	// IdleDelay paces an idle ring: a holder with nothing to originate
-	// and nothing to retransmit holds the token this long before passing
-	// it, so an idle ring does not spin. Zero disables pacing.
+	// IdleDelay paces an idle ring: a holder that observes no sequence
+	// progress since its own previous visit, and that has nothing to
+	// originate or retransmit, holds the token this long before passing
+	// it, so an idle ring does not spin. A busy ring (any member
+	// originating) passes the token at full speed, and a local Submit
+	// cuts the hold short. Zero disables pacing.
 	IdleDelay time.Duration
 	// Now is the clock; nil means time.Now (injected in tests).
 	Now func() time.Time
@@ -126,13 +151,17 @@ type Ring struct {
 	successor ids.ProcessorID
 	obs       Observer
 	now       func() time.Time
+	level     sec.Level // cfg.Suite.SecurityLevel(), read once
+	vcache    *verifyCache
 
-	qmu   sync.Mutex
-	sendQ [][]byte
+	qmu     sync.Mutex
+	sendQ   [][]byte
+	submitN chan struct{} // capacity 1: edge-trigger for Submit during an idle hold
 
 	// Protocol state: single event-goroutine access.
 	visit        uint64 // highest token visit accepted
 	seq          uint64 // highest message seq known assigned
+	lastHeldSeq  uint64 // ring seq as of this processor's previous token hold
 	delivered    uint64 // highest contiguous seq delivered
 	msgs         map[uint64]*wire.Regular
 	digestBook   map[uint64][sec.DigestSize]byte // seq -> digest from tokens
@@ -190,6 +219,9 @@ func New(cfg Config) (*Ring, error) {
 		successor:  cfg.Members[(idx+1)%len(cfg.Members)],
 		obs:        obs,
 		now:        cfg.Now,
+		level:      cfg.Suite.SecurityLevel(),
+		vcache:     newVerifyCache(),
+		submitN:    make(chan struct{}, 1),
 		msgs:       make(map[uint64]*wire.Regular),
 		digestBook: make(map[uint64][sec.DigestSize]byte),
 		tokensSeen: make(map[uint64][sec.DigestSize]byte),
@@ -213,8 +245,14 @@ func (r *Ring) Stop() { r.stopped = true }
 func (r *Ring) Submit(contents []byte) {
 	c := append([]byte(nil), contents...)
 	r.qmu.Lock()
-	defer r.qmu.Unlock()
 	r.sendQ = append(r.sendQ, c)
+	r.qmu.Unlock()
+	// Wake an in-progress idle hold so the submission is originated on
+	// this visit instead of after the full idle delay.
+	select {
+	case r.submitN <- struct{}{}:
+	default:
+	}
 }
 
 // QueuedSubmissions reports how many submissions await origination.
@@ -274,7 +312,7 @@ func (r *Ring) HandleToken(raw []byte) {
 		// conflict is not attributable (anyone can forge garbage naming
 		// a correct processor), so it is dropped silently.
 		if seen, ok := r.tokensSeen[tok.Visit]; ok && seen != sec.Digest(raw) {
-			if r.cfg.Suite.VerifyToken(tok.Sender, tok.SignedPortion(), tok.Signature) {
+			if r.verifyOnce(tok) {
 				r.obs.MutantToken(tok.Sender, tok.Visit)
 			}
 		}
@@ -282,8 +320,10 @@ func (r *Ring) HandleToken(raw []byte) {
 	}
 	// Verify the signature BEFORE attributing anything to the claimed
 	// sender: an invalid signature proves only that a forgery exists,
-	// never that the named processor misbehaved.
-	if !r.cfg.Suite.VerifyToken(tok.Sender, tok.SignedPortion(), tok.Signature) {
+	// never that the named processor misbehaved. verifyOnce memoizes the
+	// verdict, so a token seen on both this path and the stale/mutant
+	// path above — or retransmitted — costs exactly one RSA operation.
+	if !r.verifyOnce(tok) {
 		r.stats.TokenRejects++
 		return
 	}
@@ -298,7 +338,7 @@ func (r *Ring) HandleToken(raw []byte) {
 	// detection). After token loss we may lack the previous token; the
 	// check is skipped then, which is safe because the signature still
 	// binds the claimed contents to the claimed sender.
-	if r.cfg.Suite.Level >= sec.LevelSignatures {
+	if r.level >= sec.LevelSignatures {
 		if prevDigest, ok := r.tokensSeen[tok.Visit-1]; ok && tok.PrevTokenDigest != prevDigest {
 			r.stats.TokenRejects++
 			r.obs.MutantToken(tok.Sender, tok.Visit)
@@ -307,6 +347,71 @@ func (r *Ring) HandleToken(raw []byte) {
 	}
 
 	r.acceptToken(tok, raw)
+}
+
+// verifyOnce checks a token signature through the bounded verify cache:
+// each distinct (sender, signed portion, signature) triple reaches the
+// RSA machinery at most once per processor. Below LevelSignatures tokens
+// are unsigned and every check is vacuously true, so the cache (and its
+// keying digests) is bypassed entirely.
+func (r *Ring) verifyOnce(tok *wire.Token) bool {
+	if r.level < sec.LevelSignatures {
+		return r.cfg.Suite.VerifyToken(tok.Sender, tok.SignedPortion(), tok.Signature)
+	}
+	k := tokenVerifyKey(tok)
+	if v, ok := r.vcache.lookup(k); ok {
+		return v
+	}
+	v := r.cfg.Suite.VerifyToken(tok.Sender, tok.SignedPortion(), tok.Signature)
+	r.vcache.store(k, v)
+	return v
+}
+
+// PreverifyTokens warms the verify cache for a drained batch of token
+// payloads, fanning the RSA verifications out across bounded workers when
+// the suite supports batch verification (deterministic result order —
+// verdicts are stored by key, and dispatch stays serial). The event loop
+// calls it before dispatching the batch so that HandleToken's serial path
+// finds every verdict already memoized. Undecodable payloads are skipped
+// here and rejected by HandleToken as usual.
+func (r *Ring) PreverifyTokens(raws [][]byte) {
+	if r.stopped || r.level < sec.LevelSignatures || len(raws) < 2 {
+		return
+	}
+	var toks []*wire.Token
+	var keys []verifyKey
+	for _, raw := range raws {
+		tok, err := wire.UnmarshalToken(raw)
+		if err != nil || tok.Ring != r.cfg.Ring || !r.memberOf(tok.Sender) {
+			continue
+		}
+		k := tokenVerifyKey(tok)
+		if _, ok := r.vcache.lookup(k); ok {
+			continue
+		}
+		toks = append(toks, tok)
+		keys = append(keys, k)
+	}
+	if len(toks) == 0 {
+		return
+	}
+	if bv, ok := r.cfg.Suite.(BatchVerifier); ok {
+		items := make([]sec.TokenVerification, len(toks))
+		for i, tok := range toks {
+			items[i] = sec.TokenVerification{
+				Sender: tok.Sender,
+				Signed: tok.SignedPortion(),
+				Sig:    tok.Signature,
+			}
+		}
+		for i, v := range bv.VerifyTokenBatch(items) {
+			r.vcache.store(keys[i], v)
+		}
+		return
+	}
+	for i, tok := range toks {
+		r.vcache.store(keys[i], r.cfg.Suite.VerifyToken(tok.Sender, tok.SignedPortion(), tok.Signature))
+	}
 }
 
 // acceptToken records an accepted token and, if this processor is the
@@ -346,10 +451,20 @@ func (r *Ring) acceptToken(tok *wire.Token, raw []byte) {
 // originate new ones, update seq/aru/rtr, and pass the token on.
 func (r *Ring) holdToken(prev *wire.Token) {
 	r.stats.TokenHeld++
-	if r.cfg.IdleDelay > 0 && len(prev.RtrList) == 0 && r.QueuedSubmissions() == 0 {
-		// Idle pacing: holding the token briefly models per-visit
-		// processing time and keeps an idle ring from spinning.
-		time.Sleep(r.cfg.IdleDelay)
+	if r.cfg.IdleDelay > 0 && len(prev.RtrList) == 0 &&
+		prev.Seq <= r.lastHeldSeq && r.QueuedSubmissions() == 0 {
+		// Idle pacing: the ring made no sequence progress over the whole
+		// rotation since our previous hold and we have nothing to add, so
+		// hold the token briefly to keep an idle ring from spinning. A
+		// busy ring (prev.Seq advanced) skips this entirely — pacing on a
+		// loaded ring would charge every rotation the full delay at each
+		// non-originating member. A local Submit interrupts the hold.
+		t := time.NewTimer(r.cfg.IdleDelay)
+		select {
+		case <-r.submitN:
+		case <-t.C:
+		}
+		t.Stop()
 	}
 
 	// 1. Retransmit messages from the incoming retransmission request
@@ -375,7 +490,7 @@ func (r *Ring) holdToken(prev *wire.Token) {
 		seq++
 		m := &wire.Regular{Sender: r.cfg.Self, Ring: r.cfg.Ring, Seq: seq, Contents: contents}
 		raw := m.Marshal()
-		if r.cfg.Suite.Level >= sec.LevelDigests {
+		if r.level >= sec.LevelDigests {
 			d := sec.Digest(raw)
 			digests = append(digests, wire.DigestEntry{Seq: seq, Digest: d})
 			r.digestBook[seq] = d
@@ -385,11 +500,12 @@ func (r *Ring) holdToken(prev *wire.Token) {
 		r.stats.Originated++
 	}
 	r.seq = seq
+	r.lastHeldSeq = seq
 	r.tryDeliver()
 
 	// 2b. Carry known digests for still-unstable older messages so that
 	// processors that missed earlier tokens can verify and deliver.
-	if r.cfg.Suite.Level >= sec.LevelDigests {
+	if r.level >= sec.LevelDigests {
 		for s := prev.Aru + 1; s <= prev.Seq && len(digests) < maxDigestList; s++ {
 			if d, ok := r.digestBook[s]; ok {
 				digests = append(digests, wire.DigestEntry{Seq: s, Digest: d})
@@ -525,7 +641,7 @@ func (r *Ring) HandleRegular(raw []byte) {
 	// If the token has not arrived yet the message is held; if it
 	// mismatches a known digest it is discarded and will be recovered by
 	// retransmission of the genuine message.
-	if r.cfg.Suite.Level >= sec.LevelDigests {
+	if r.level >= sec.LevelDigests {
 		if d, ok := r.digestBook[m.Seq]; ok && d != sec.Digest(raw) {
 			r.stats.DigestRejects++
 			r.obs.MutantMessage(m.Sender, m.Seq)
@@ -545,7 +661,7 @@ func (r *Ring) tryDeliver() {
 		if !ok {
 			return
 		}
-		if r.cfg.Suite.Level >= sec.LevelDigests {
+		if r.level >= sec.LevelDigests {
 			d, have := r.digestBook[m.Seq]
 			if !have {
 				return // wait for the token bearing the digest
@@ -618,7 +734,7 @@ func (r *Ring) gc(aru uint64) {
 // delivered sequence numbers above from, for inclusion in a Flush message
 // during a membership change.
 func (r *Ring) RecoveryDigests(from uint64) []wire.DigestEntry {
-	if r.cfg.Suite.Level < sec.LevelDigests {
+	if r.level < sec.LevelDigests {
 		return nil
 	}
 	var out []wire.DigestEntry

@@ -76,6 +76,11 @@ func NewSuite(level Level, self ids.ProcessorID, key *KeyPair, ring *KeyRing) (*
 	return &Suite{Level: level, Self: self, Key: key, Ring: ring}, nil
 }
 
+// SecurityLevel returns the level in force. It exists so that protocol
+// packages can depend on a narrow crypto interface (and tests can
+// substitute counting or faulting stubs) instead of the concrete Suite.
+func (s *Suite) SecurityLevel() Level { return s.Level }
+
 // SignToken signs the digest of the given token bytes with this processor's
 // private key. At levels below LevelSignatures it returns (nil, nil): tokens
 // circulate unsigned.

@@ -107,10 +107,16 @@ func (pk *PublicKey) Equal(other *PublicKey) bool {
 }
 
 // KeyPair is a processor's RSA keypair. The private exponent never leaves
-// the processor that generated it.
+// the processor that generated it. Keypairs from GenerateKeyPair carry the
+// Chinese-Remainder-Theorem precomputation (two half-size exponentiations
+// instead of one full-size one), which cuts signing cost by roughly 3-4×;
+// signing falls back to plain d-exponentiation when it is absent.
 type KeyPair struct {
 	pub PublicKey
 	d   *big.Int // private exponent
+
+	// CRT precomputation: d mod p-1, d mod q-1, q^-1 mod p.
+	p, q, dp, dq, qinv *big.Int
 }
 
 // GenerateKeyPair creates an RSA keypair with a modulus of the given bit
@@ -141,10 +147,19 @@ func GenerateKeyPair(bits int, random io.Reader) (*KeyPair, error) {
 		if d.ModInverse(publicExponent, phi) == nil {
 			continue // gcd(e, phi) != 1; pick new primes
 		}
-		return &KeyPair{
+		kp := &KeyPair{
 			pub: PublicKey{N: n, E: new(big.Int).Set(publicExponent)},
 			d:   d,
-		}, nil
+			p:   p,
+			q:   q,
+			dp:  new(big.Int).Mod(d, new(big.Int).Sub(p, one)),
+			dq:  new(big.Int).Mod(d, new(big.Int).Sub(q, one)),
+		}
+		kp.qinv = new(big.Int).ModInverse(q, p)
+		if kp.qinv == nil {
+			continue // p == q cannot happen here, but stay defensive
+		}
+		return kp, nil
 	}
 	return nil, errors.New("could not generate suitable RSA primes")
 }
@@ -193,6 +208,17 @@ func (kp *KeyPair) Sign(digest []byte) ([]byte, error) {
 	}
 	m := new(big.Int).SetBytes(digest)
 	m.Mod(m, kp.pub.N)
-	sig := new(big.Int).Exp(m, kp.d, kp.pub.N)
+	if kp.qinv == nil {
+		sig := new(big.Int).Exp(m, kp.d, kp.pub.N)
+		return sig.Bytes(), nil
+	}
+	// CRT: s_p = m^dp mod p, s_q = m^dq mod q, recombined via Garner.
+	sp := new(big.Int).Exp(m, kp.dp, kp.p)
+	sq := new(big.Int).Exp(m, kp.dq, kp.q)
+	h := new(big.Int).Sub(sp, sq)
+	h.Mul(h, kp.qinv)
+	h.Mod(h, kp.p)
+	sig := h.Mul(h, kp.q)
+	sig.Add(sig, sq)
 	return sig.Bytes(), nil
 }

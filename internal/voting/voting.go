@@ -46,13 +46,60 @@ type Outcome struct {
 	Deviant *ids.ReplicaID
 }
 
-// entry is the per-operation voting state.
+// copyRec records one replica's copy of an operation.
+type copyRec struct {
+	sender ids.ReplicaID
+	digest [sec.DigestSize]byte
+}
+
+// tally accumulates the vote for one distinct value.
+type tally struct {
+	digest  [sec.DigestSize]byte
+	payload []byte
+	count   int
+}
+
+// entry is the per-operation voting state. Replication degrees are small
+// (3-7), so copies and tallies live in linear slices backed by inline
+// arrays: creating an entry costs one allocation, and lookups are cheap
+// scans rather than map probes.
 type entry struct {
-	copies   map[ids.ReplicaID][sec.DigestSize]byte
-	payloads map[[sec.DigestSize]byte][]byte
-	counts   map[[sec.DigestSize]byte]int
-	decided  bool
-	winner   [sec.DigestSize]byte
+	copies  []copyRec
+	tallies []tally
+	decided bool
+	winner  [sec.DigestSize]byte
+
+	copiesBuf  [4]copyRec
+	talliesBuf [2]tally
+}
+
+// newEntry returns an entry whose slices alias the inline buffers; append
+// spills to the heap only beyond 4 copies / 2 distinct values.
+func newEntry() *entry {
+	e := &entry{}
+	e.copies = e.copiesBuf[:0]
+	e.tallies = e.talliesBuf[:0]
+	return e
+}
+
+// copyOf returns the digest previously recorded for sender.
+func (e *entry) copyOf(sender ids.ReplicaID) ([sec.DigestSize]byte, bool) {
+	for i := range e.copies {
+		if e.copies[i].sender == sender {
+			return e.copies[i].digest, true
+		}
+	}
+	return [sec.DigestSize]byte{}, false
+}
+
+// tallyOf returns the tally for digest d, or nil.
+func (e *entry) tallyOf(d [sec.DigestSize]byte) *tally {
+	for i := range e.tallies {
+		if e.tallies[i].digest == d {
+			return &e.tallies[i]
+		}
+	}
+	return nil
 }
 
 // Voter runs majority voting for operations addressed to one target group
@@ -88,11 +135,19 @@ func (v *Voter) Pending() int { return len(v.ops) }
 // Offer feeds one copy to the voter and reports the resulting state
 // transition.
 func (v *Voter) Offer(op ids.OperationID, sender ids.ReplicaID, payload []byte) Outcome {
+	return v.OfferDigest(op, sender, payload, sec.Digest(payload))
+}
+
+// OfferDigest is Offer with the payload digest already computed. The
+// Replication Manager digests each delivered payload once and reuses it
+// for voting and for fault attribution, instead of redigesting per
+// consumer. d must be sec.Digest(payload).
+func (v *Voter) OfferDigest(op ids.OperationID, sender ids.ReplicaID, payload []byte, d [sec.DigestSize]byte) Outcome {
 	if winner, done := v.decided[op]; done {
 		// Post-decision copy: discarded per §6.1, but a copy deviating
 		// from the decided value is still attributable evidence of a
 		// value fault (§6.2).
-		if sec.Digest(payload) != winner {
+		if d != winner {
 			dev := sender
 			return Outcome{Duplicate: true, Deviant: &dev}
 		}
@@ -100,15 +155,10 @@ func (v *Voter) Offer(op ids.OperationID, sender ids.ReplicaID, payload []byte) 
 	}
 	e := v.ops[op]
 	if e == nil {
-		e = &entry{
-			copies:   make(map[ids.ReplicaID][sec.DigestSize]byte),
-			payloads: make(map[[sec.DigestSize]byte][]byte),
-			counts:   make(map[[sec.DigestSize]byte]int),
-		}
+		e = newEntry()
 		v.ops[op] = e
 	}
-	d := sec.Digest(payload)
-	if prev, ok := e.copies[sender]; ok {
+	if prev, ok := e.copyOf(sender); ok {
 		if prev == d {
 			return Outcome{Duplicate: true}
 		}
@@ -118,11 +168,16 @@ func (v *Voter) Offer(op ids.OperationID, sender ids.ReplicaID, payload []byte) 
 		dev := sender
 		return Outcome{Duplicate: true, Deviant: &dev}
 	}
-	e.copies[sender] = d
-	if _, ok := e.payloads[d]; !ok {
-		e.payloads[d] = append([]byte(nil), payload...)
+	e.copies = append(e.copies, copyRec{sender: sender, digest: d})
+	t := e.tallyOf(d)
+	if t == nil {
+		e.tallies = append(e.tallies, tally{
+			digest:  d,
+			payload: append([]byte(nil), payload...),
+		})
+		t = &e.tallies[len(e.tallies)-1]
 	}
-	e.counts[d]++
+	t.count++
 
 	r := v.degree(op.ClientGroup)
 	if sender.Group != op.ClientGroup {
@@ -134,7 +189,7 @@ func (v *Voter) Offer(op ids.OperationID, sender ids.ReplicaID, payload []byte) 
 		return Outcome{}
 	}
 	need := r/2 + 1
-	if e.counts[d] < need {
+	if t.count < need {
 		return Outcome{}
 	}
 
@@ -142,10 +197,10 @@ func (v *Voter) Offer(op ids.OperationID, sender ids.ReplicaID, payload []byte) 
 	e.decided = true
 	e.winner = d
 	v.decided[op] = d
-	out := Outcome{Decided: true, Payload: e.payloads[d]}
-	for s, cd := range e.copies {
-		if cd != d {
-			out.Deviants = append(out.Deviants, s)
+	out := Outcome{Decided: true, Payload: t.payload}
+	for i := range e.copies {
+		if e.copies[i].digest != d {
+			out.Deviants = append(out.Deviants, e.copies[i].sender)
 		}
 	}
 	sort.Slice(out.Deviants, func(i, j int) bool {
@@ -189,26 +244,26 @@ func (v *Voter) Recheck() []DecidedOp {
 	for _, op := range pend {
 		e := v.ops[op]
 		var senderGroup ids.ObjectGroupID
-		for s := range e.copies {
-			senderGroup = s.Group
-			break
+		if len(e.copies) > 0 {
+			senderGroup = e.copies[0].sender.Group
 		}
 		r := v.degree(senderGroup)
 		if r <= 0 {
 			continue
 		}
 		need := r/2 + 1
-		for d, n := range e.counts {
-			if n < need {
+		for i := range e.tallies {
+			t := &e.tallies[i]
+			if t.count < need {
 				continue
 			}
 			e.decided = true
-			e.winner = d
-			v.decided[op] = d
-			dec := DecidedOp{Op: op, Payload: e.payloads[d]}
-			for s, cd := range e.copies {
-				if cd != d {
-					dec.Deviants = append(dec.Deviants, s)
+			e.winner = t.digest
+			v.decided[op] = t.digest
+			dec := DecidedOp{Op: op, Payload: t.payload}
+			for j := range e.copies {
+				if e.copies[j].digest != t.digest {
+					dec.Deviants = append(dec.Deviants, e.copies[j].sender)
 				}
 			}
 			delete(v.ops, op)
@@ -230,15 +285,27 @@ type DecidedOp struct {
 // excluded and its replicas are removed from all groups, §3.1).
 func (v *Voter) DropSender(r ids.ReplicaID) {
 	for op, e := range v.ops {
-		d, ok := e.copies[r]
-		if !ok {
+		idx := -1
+		for i := range e.copies {
+			if e.copies[i].sender == r {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
 			continue
 		}
-		delete(e.copies, r)
-		e.counts[d]--
-		if e.counts[d] == 0 {
-			delete(e.counts, d)
-			delete(e.payloads, d)
+		d := e.copies[idx].digest
+		e.copies = append(e.copies[:idx], e.copies[idx+1:]...)
+		for i := range e.tallies {
+			if e.tallies[i].digest != d {
+				continue
+			}
+			e.tallies[i].count--
+			if e.tallies[i].count == 0 {
+				e.tallies = append(e.tallies[:i], e.tallies[i+1:]...)
+			}
+			break
 		}
 		if len(e.copies) == 0 {
 			delete(v.ops, op)

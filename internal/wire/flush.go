@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"immune/internal/ids"
+	"immune/internal/sec"
 )
 
 // Flush is the old-ring recovery message exchanged while a membership
@@ -21,6 +22,13 @@ type Flush struct {
 	Delivered uint64     // sender's all-delivered-up-to on that ring
 	Digests   []DigestEntry
 	Signature []byte
+
+	sp []byte // memoized SignedPortion encoding
+}
+
+// signedSize returns the exact length of the signed portion encoding.
+func (f *Flush) signedSize() int {
+	return 1 + 4 + 4 + 8 + 4 + (8+sec.DigestSize)*len(f.Digests)
 }
 
 // KindFlush tags a Flush message. Declared here (not in the Kind const
@@ -39,17 +47,22 @@ func (f *Flush) marshalBody(w *writer) {
 	}
 }
 
-// SignedPortion returns the bytes covered by the signature.
+// SignedPortion returns the bytes covered by the signature. Memoized:
+// populate the fields before the first call, not after.
 func (f *Flush) SignedPortion() []byte {
-	var w writer
-	f.marshalBody(&w)
-	return w.buf
+	if f.sp == nil {
+		w := newWriter(f.signedSize())
+		f.marshalBody(&w)
+		f.sp = w.buf
+	}
+	return f.sp
 }
 
 // Marshal encodes the message including its signature.
 func (f *Flush) Marshal() []byte {
-	var w writer
-	f.marshalBody(&w)
+	sp := f.SignedPortion()
+	w := writer{buf: make([]byte, 0, len(sp)+4+len(f.Signature))}
+	w.buf = append(w.buf, sp...)
 	w.bytes(f.Signature)
 	return w.buf
 }
@@ -72,12 +85,14 @@ func UnmarshalFlush(payload []byte) (*Flush, error) {
 			f.Digests = append(f.Digests, DigestEntry{Seq: r.u64(), Digest: r.digest()})
 		}
 	}
-	f.Signature = r.bytes()
+	spEnd := r.off
+	f.Signature = r.bytesRef()
 	if len(f.Signature) == 0 {
 		f.Signature = nil
 	}
 	if err := r.done(); err != nil {
 		return nil, err
 	}
+	f.sp = payload[:spEnd:spEnd]
 	return f, nil
 }

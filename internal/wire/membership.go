@@ -54,6 +54,13 @@ type Membership struct {
 	Members   []ids.ProcessorID
 	Suspects  []ids.ProcessorID
 	Signature []byte
+
+	sp []byte // memoized SignedPortion encoding
+}
+
+// signedSize returns the exact length of the signed portion encoding.
+func (m *Membership) signedSize() int {
+	return 1 + 4 + 1 + 8 + 8 + 4 + 8 + 4 + 4*len(m.Members) + 4 + 4*len(m.Suspects)
 }
 
 func (m *Membership) marshalBody(w *writer) {
@@ -74,17 +81,22 @@ func (m *Membership) marshalBody(w *writer) {
 	}
 }
 
-// SignedPortion returns the bytes covered by the signature.
+// SignedPortion returns the bytes covered by the signature. Memoized:
+// populate the fields before the first call, not after.
 func (m *Membership) SignedPortion() []byte {
-	var w writer
-	m.marshalBody(&w)
-	return w.buf
+	if m.sp == nil {
+		w := newWriter(m.signedSize())
+		m.marshalBody(&w)
+		m.sp = w.buf
+	}
+	return m.sp
 }
 
 // Marshal encodes the message including its signature.
 func (m *Membership) Marshal() []byte {
-	var w writer
-	m.marshalBody(&w)
+	sp := m.SignedPortion()
+	w := writer{buf: make([]byte, 0, len(sp)+4+len(m.Signature))}
+	w.buf = append(w.buf, sp...)
 	w.bytes(m.Signature)
 	return w.buf
 }
@@ -117,7 +129,8 @@ func UnmarshalMembership(payload []byte) (*Membership, error) {
 			m.Suspects = append(m.Suspects, ids.ProcessorID(r.u32()))
 		}
 	}
-	m.Signature = r.bytes()
+	spEnd := r.off
+	m.Signature = r.bytesRef()
 	if len(m.Signature) == 0 {
 		m.Signature = nil
 	}
@@ -127,6 +140,7 @@ func UnmarshalMembership(payload []byte) (*Membership, error) {
 	if m.Kind < MembershipPropose || m.Kind > MembershipAnnounce {
 		return nil, fmt.Errorf("wire: invalid membership kind %d", m.Kind)
 	}
+	m.sp = payload[:spEnd:spEnd]
 	return m, nil
 }
 

@@ -34,6 +34,9 @@ type RtgEntry struct {
 //     RtrList
 //   - message corruption: + DigestList
 //   - malicious processors: + Signature, PrevTokenDigest, RtgList
+// A Token is encode-once: populate the fields, sign (SignedPortion, then
+// set Signature), then Marshal — SignedPortion and Marshal memoize their
+// encodings, so fields must not change after the first encode.
 type Token struct {
 	Sender          ids.ProcessorID
 	Ring            ids.RingID
@@ -46,6 +49,18 @@ type Token struct {
 	PrevTokenDigest [sec.DigestSize]byte
 	RtgList         []RtgEntry
 	Signature       []byte // over SignedPortion(); empty below sec.LevelSignatures
+
+	sp  []byte // memoized SignedPortion encoding
+	raw []byte // memoized full encoding
+}
+
+// signedSize returns the exact length of the signed portion encoding.
+func (t *Token) signedSize() int {
+	return 1 + 4 + 4 + 8 + 8 + 8 + 4 +
+		4 + 8*len(t.RtrList) +
+		4 + (8+sec.DigestSize)*len(t.DigestList) +
+		sec.DigestSize +
+		4 + 12*len(t.RtgList)
 }
 
 // marshalBody encodes everything except the signature.
@@ -75,19 +90,29 @@ func (t *Token) marshalBody(w *writer) {
 }
 
 // SignedPortion returns the bytes covered by the token signature: the
-// entire token except the signature field itself.
+// entire token except the signature field itself. Memoized — the receive
+// path consults it for both cache keying and verification, and decoded
+// tokens reuse the payload sub-slice with no re-encoding at all.
 func (t *Token) SignedPortion() []byte {
-	var w writer
-	t.marshalBody(&w)
-	return w.buf
+	if t.sp == nil {
+		w := newWriter(t.signedSize())
+		t.marshalBody(&w)
+		t.sp = w.buf
+	}
+	return t.sp
 }
 
-// Marshal encodes the token including its signature.
+// Marshal encodes the token including its signature. Memoized; callers
+// must not mutate the result.
 func (t *Token) Marshal() []byte {
-	var w writer
-	t.marshalBody(&w)
-	w.bytes(t.Signature)
-	return w.buf
+	if t.raw == nil {
+		sp := t.SignedPortion()
+		w := writer{buf: make([]byte, 0, len(sp)+4+len(t.Signature))}
+		w.buf = append(w.buf, sp...)
+		w.bytes(t.Signature)
+		t.raw = w.buf
+	}
+	return t.raw
 }
 
 // Digest computes the digest of the full token encoding; the next token
@@ -97,7 +122,9 @@ func (t *Token) Digest() [sec.DigestSize]byte {
 	return sec.Digest(t.Marshal())
 }
 
-// UnmarshalToken decodes a token payload.
+// UnmarshalToken decodes a token payload. The decoded token aliases
+// payload (the signature and the memoized SignedPortion/Marshal encodings
+// are sub-slices of it): the caller transfers ownership of payload.
 func UnmarshalToken(payload []byte) (*Token, error) {
 	r := reader{buf: payload}
 	if k := r.byte1(); Kind(k) != KindToken {
@@ -136,13 +163,16 @@ func UnmarshalToken(payload []byte) (*Token, error) {
 			})
 		}
 	}
-	t.Signature = r.bytes()
+	spEnd := r.off
+	t.Signature = r.bytesRef()
 	if len(t.Signature) == 0 {
 		t.Signature = nil
 	}
 	if err := r.done(); err != nil {
 		return nil, err
 	}
+	t.sp = payload[:spEnd:spEnd]
+	t.raw = payload
 	return t, nil
 }
 

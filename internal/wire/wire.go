@@ -53,8 +53,13 @@ var ErrBadKind = errors.New("wire: unknown message kind")
 // trigger giant allocations.
 const maxListLen = 1 << 16
 
-// writer accumulates an encoding.
+// writer accumulates an encoding. Hot-path marshals presize buf with the
+// exact encoded size (see the sizeOf* helpers) so each Marshal costs one
+// allocation instead of a chain of growth copies.
 type writer struct{ buf []byte }
+
+// newWriter returns a writer whose buffer has capacity for size bytes.
+func newWriter(size int) writer { return writer{buf: make([]byte, 0, size)} }
 
 func (w *writer) byte1(b byte) { w.buf = append(w.buf, b) }
 func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
@@ -119,6 +124,21 @@ func (r *reader) bytes() []byte {
 	return out
 }
 
+// bytesRef is bytes without the defensive copy: the result aliases the
+// payload. Decoders use it when the payload's ownership has already been
+// transferred to the receiver (netsim copies each frame per receiver), so
+// the alias can never observe sender-side mutation.
+func (r *reader) bytesRef() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > maxListLen || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	out := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return out
+}
+
 func (r *reader) digest() (d [sec.DigestSize]byte) {
 	if r.err != nil || r.off+sec.DigestSize > len(r.buf) {
 		r.fail()
@@ -171,25 +191,43 @@ func PeekKind(payload []byte) (Kind, error) {
 // Figure 6 (sender_id, ring_id, seq, contents). Seq is the global total
 // order sequence number assigned from the token when the message was
 // originated.
+// A Regular is encode-once: set the exported fields before the first call
+// to Marshal or Digest, never after — both memoize their result, and the
+// ring's delivery path relies on the memoized digest being stable.
 type Regular struct {
 	Sender   ids.ProcessorID
 	Ring     ids.RingID
 	Seq      uint64
 	Contents []byte
+
+	raw    []byte               // memoized encoding (or the decode payload)
+	dig    [sec.DigestSize]byte // memoized digest of raw
+	digSet bool
 }
 
-// Marshal encodes the message with its kind tag.
+// encodedSize returns the exact length of the encoding.
+func (m *Regular) encodedSize() int {
+	return 1 + 4 + 4 + 8 + 4 + len(m.Contents)
+}
+
+// Marshal encodes the message with its kind tag. The result is memoized:
+// repeat calls return the same buffer, and callers must not mutate it.
 func (m *Regular) Marshal() []byte {
-	var w writer
+	if m.raw != nil {
+		return m.raw
+	}
+	w := newWriter(m.encodedSize())
 	w.byte1(byte(KindRegular))
 	w.u32(uint32(m.Sender))
 	w.u32(uint32(m.Ring))
 	w.u64(m.Seq)
 	w.bytes(m.Contents)
-	return w.buf
+	m.raw = w.buf
+	return m.raw
 }
 
-// UnmarshalRegular decodes a regular message payload.
+// UnmarshalRegular decodes a regular message payload. The decoded message
+// aliases payload (no copies): the caller transfers ownership of payload.
 func UnmarshalRegular(payload []byte) (*Regular, error) {
 	r := reader{buf: payload}
 	if k := r.byte1(); Kind(k) != KindRegular {
@@ -199,16 +237,22 @@ func UnmarshalRegular(payload []byte) (*Regular, error) {
 		Sender:   ids.ProcessorID(r.u32()),
 		Ring:     ids.RingID(r.u32()),
 		Seq:      r.u64(),
-		Contents: r.bytes(),
+		Contents: r.bytesRef(),
 	}
 	if err := r.done(); err != nil {
 		return nil, err
 	}
+	m.raw = payload
 	return m, nil
 }
 
 // Digest computes the message digest carried in the token's message digest
-// list for this message (digest over the full encoding).
+// list for this message (digest over the full encoding). Memoized: the
+// delivery path consults it once per held copy per token arrival.
 func (m *Regular) Digest() [sec.DigestSize]byte {
-	return sec.Digest(m.Marshal())
+	if !m.digSet {
+		m.dig = sec.Digest(m.Marshal())
+		m.digSet = true
+	}
+	return m.dig
 }
