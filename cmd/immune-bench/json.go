@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -28,14 +30,95 @@ type CaseResult struct {
 
 // Report is the BENCH_2.json schema.
 type Report struct {
-	Schema       string                `json:"schema"`
-	GoVersion    string                `json:"go_version"`
-	GOOS         string                `json:"goos"`
-	GOARCH       string                `json:"goarch"`
-	PayloadBytes int                   `json:"payload_bytes"`
-	WorkFactor   int                   `json:"crypto_work_factor"`
-	Baseline     map[string]CaseResult `json:"pre_change_baseline"`
-	Cases        map[string]CaseResult `json:"cases"`
+	Schema       string                 `json:"schema"`
+	GoVersion    string                 `json:"go_version"`
+	GOOS         string                 `json:"goos"`
+	GOARCH       string                 `json:"goarch"`
+	PayloadBytes int                    `json:"payload_bytes"`
+	WorkFactor   int                    `json:"crypto_work_factor"`
+	Baseline     map[string]CaseResult  `json:"pre_change_baseline"`
+	Cases        map[string]CaseResult  `json:"cases"`
+	Metrics      map[string]CaseMetrics `json:"metrics,omitempty"`
+}
+
+// StageStat is one trace histogram (a stage transition or the end-to-end
+// total) of a measured case.
+type StageStat struct {
+	Name   string  `json:"name"`
+	Count  uint64  `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+}
+
+// CaseMetrics is the -metrics section for one replicated case: every
+// non-zero counter plus the invocation trace stage breakdown.
+type CaseMetrics struct {
+	Counters map[string]uint64 `json:"counters"`
+	Stages   []StageStat       `json:"stages"`
+}
+
+// requiredCounters must be non-zero after any replicated measurement: they
+// prove the instrumentation is still wired through every protocol layer.
+// Signature counters are additionally required at LevelSignatures (case 4).
+var requiredCounters = []string{
+	"ring.delivered",
+	"ring.originated",
+	"voting.inv.votes_cast",
+	"voting.inv.decided",
+	"rm.invocations_sent",
+	"rm.invocations_decided",
+	"net.sent",
+	"net.delivered",
+}
+
+var requiredSignatureCounters = []string{
+	"ring.tokens_signed",
+	"ring.tokens_verified",
+}
+
+// caseMetrics converts a snapshot into the report section and verifies the
+// required counters.
+func caseMetrics(key string, level immune.Level, snap immune.MetricsSnapshot) (CaseMetrics, error) {
+	cm := CaseMetrics{Counters: map[string]uint64{}}
+	for name, v := range snap.Counters {
+		if v != 0 {
+			cm.Counters[name] = v
+		}
+	}
+	names := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.HasPrefix(name, "trace.") {
+			continue
+		}
+		h := snap.Histograms[name]
+		cm.Stages = append(cm.Stages, StageStat{
+			Name:   name,
+			Count:  h.Count,
+			MeanUs: float64(h.Mean()) / 1e3,
+			P50Us:  float64(h.Quantile(0.50)) / 1e3,
+			P99Us:  float64(h.Quantile(0.99)) / 1e3,
+		})
+	}
+	required := requiredCounters
+	if level == immune.LevelSignatures {
+		required = append(append([]string{}, required...), requiredSignatureCounters...)
+	}
+	var zero []string
+	for _, name := range required {
+		if snap.Counters[name] == 0 {
+			zero = append(zero, name)
+		}
+	}
+	if len(zero) > 0 {
+		return cm, fmt.Errorf("%s: required counters stayed zero (instrumentation unwired?): %s",
+			key, strings.Join(zero, ", "))
+	}
+	return cm, nil
 }
 
 // preChangeBaseline holds the measurements taken at the parent commit of
@@ -55,8 +138,11 @@ var preChangeBaseline = map[string]CaseResult{
 	},
 }
 
-// runJSON measures all four cases and writes the report to path.
-func runJSON(path string, payloadSize, workFactor int) error {
+// runJSON measures all four cases and writes the report to path. With
+// metrics enabled, each replicated case also captures its system's metric
+// snapshot; a required counter that stayed zero fails the run (the CI
+// smoke uses this to prove the instrumentation stays wired).
+func runJSON(path string, payloadSize, workFactor int, withMetrics bool) error {
 	body := immune.PacketPayload(payloadSize)
 	report := Report{
 		Schema:       "immune-bench/2",
@@ -67,6 +153,9 @@ func runJSON(path string, payloadSize, workFactor int) error {
 		WorkFactor:   workFactor,
 		Baseline:     preChangeBaseline,
 		Cases:        map[string]CaseResult{},
+	}
+	if withMetrics {
+		report.Metrics = map[string]CaseMetrics{}
 	}
 
 	fmt.Fprintf(os.Stderr, "# measuring case 1 (no replication, no Immune)\n")
@@ -84,10 +173,22 @@ func runJSON(path string, payloadSize, workFactor int) error {
 	}
 	for _, c := range levels {
 		fmt.Fprintf(os.Stderr, "# measuring %s (%s)\n", c.key, c.label)
+		var snap immune.MetricsSnapshot
+		snapDst := &snap
+		if !withMetrics {
+			snapDst = nil
+		}
 		r := testing.Benchmark(func(b *testing.B) {
-			benchReplicated(b, c.level, workFactor, body)
+			benchReplicated(b, c.level, workFactor, body, snapDst)
 		})
 		report.Cases[c.key] = toResult(c.label, r)
+		if withMetrics {
+			cm, err := caseMetrics(c.key, c.level, snap)
+			if err != nil {
+				return err
+			}
+			report.Metrics[c.key] = cm
+		}
 	}
 
 	out, err := json.MarshalIndent(&report, "", "  ")
@@ -136,8 +237,10 @@ func benchCase1(b *testing.B, body []byte) {
 
 // benchReplicated measures one replicated case: b.N one-way invocations
 // from each of three driver replicas, timed until the (replicated) sink
-// has processed all b.N voted deliveries.
-func benchReplicated(b *testing.B, level immune.Level, workFactor int, body []byte) {
+// has processed all b.N voted deliveries. A non-nil snap receives the
+// system's final metric snapshot (testing.Benchmark may run the function
+// several times; the last, largest run wins).
+func benchReplicated(b *testing.B, level immune.Level, workFactor int, body []byte, snap *immune.MetricsSnapshot) {
 	sys, err := immune.New(immune.Config{
 		Processors:       6,
 		Level:            level,
@@ -205,4 +308,7 @@ func benchReplicated(b *testing.B, level immune.Level, workFactor int, body []by
 		time.Sleep(100 * time.Microsecond)
 	}
 	b.StopTimer()
+	if snap != nil {
+		*snap = sys.Snapshot()
+	}
 }

@@ -51,13 +51,18 @@ func main() {
 		"crypto work factor: 1 = modern hardware, ~100 = calibrated to the paper's 167 MHz testbed")
 	jsonPath := flag.String("json", "",
 		"write a machine-readable per-invocation cost report (cases 1-4) to this path instead of the interval sweep")
+	withMetrics := flag.Bool("metrics", false,
+		"JSON mode only: include each replicated case's metric snapshot (per-layer counters and trace stage breakdowns) in the report and fail if a required protocol counter stayed zero")
 	flag.Parse()
 
 	if *jsonPath != "" {
-		if err := runJSON(*jsonPath, *payload, *workFactor); err != nil {
+		if err := runJSON(*jsonPath, *payload, *workFactor, *withMetrics); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *withMetrics {
+		log.Fatal("-metrics requires -json PATH")
 	}
 	if err := run(*duration, *payload, *intervals, *cases, *workFactor); err != nil {
 		log.Fatal(err)

@@ -251,6 +251,9 @@ func run() error {
 		p1.View().Members, p1.GroupMembers(srvGroup))
 	fmt.Printf("P1 manager stats: %+v\n", p1.ManagerStats())
 	fmt.Printf("final health: %+v\n", healthOf(sys))
+
+	fmt.Println("\n== metrics snapshot (system-wide, all layers) ==")
+	fmt.Print(sys.Snapshot().String())
 	return nil
 }
 

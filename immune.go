@@ -47,6 +47,7 @@ import (
 	"immune/internal/interceptor"
 	"immune/internal/membership"
 	"immune/internal/netsim"
+	"immune/internal/obs"
 	"immune/internal/orb"
 	"immune/internal/recovery"
 	"immune/internal/replication"
@@ -112,6 +113,20 @@ type ManagerStats = replication.Stats
 // NetStats are the simulated network counters.
 type NetStats = netsim.Stats
 
+// Observability types (see internal/obs). The system-wide registry
+// aggregates counters and latency histograms from every protocol layer;
+// MetricsSnapshot is a point-in-time copy suitable for diffing or text
+// dumping via its String method.
+type (
+	// MetricsRegistry is the system-wide metric registry.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of every metric.
+	MetricsSnapshot = obs.Snapshot
+	// TraceStage is one timestamped stage of an invocation's life cycle
+	// (interception → multicast → ordering → voting → reply).
+	TraceStage = obs.Stage
+)
+
 // FaultPlan injects network-level faults (message loss, corruption,
 // duplication, delay) for survivability experiments. See netsim.FaultPlan.
 type FaultPlan = netsim.FaultPlan
@@ -164,6 +179,10 @@ type Config struct {
 	CryptoWorkFactor int
 	// OnMembershipChange observes processor membership installs.
 	OnMembershipChange func(self ProcessorID, inst MembershipInstall)
+	// DisableMetrics turns the observability layer off. By default every
+	// system carries a metric registry and invocation tracer; disabled,
+	// all hooks are nil no-ops with zero hot-path allocations.
+	DisableMetrics bool
 }
 
 // System is a running Immune deployment.
@@ -191,6 +210,7 @@ func New(cfg Config) (*System, error) {
 		PollInterval:       cfg.PollInterval,
 		CryptoWorkFactor:   cfg.CryptoWorkFactor,
 		OnMembershipChange: cfg.OnMembershipChange,
+		DisableMetrics:     cfg.DisableMetrics,
 	})
 	if err != nil {
 		return nil, err
@@ -228,6 +248,16 @@ func (s *System) ReattachProcessor(id ProcessorID) { s.inner.ReattachProcessor(i
 
 // NetStats returns simulated network counters.
 func (s *System) NetStats() NetStats { return s.inner.NetStats() }
+
+// Metrics returns the system-wide metric registry, or nil when
+// Config.DisableMetrics is set.
+func (s *System) Metrics() *MetricsRegistry { return s.inner.Metrics() }
+
+// Snapshot returns a point-in-time copy of every registered metric:
+// per-layer counters (ring, voting, replication, recovery, membership,
+// network) and per-stage invocation latency histograms. Empty when
+// metrics are disabled.
+func (s *System) Snapshot() MetricsSnapshot { return s.inner.Snapshot() }
 
 // HostGroup hosts a server object group at the given replication degree:
 // one replica per processor (§3.1), created by factory on each host. With

@@ -18,12 +18,14 @@ import (
 	"immune/internal/interceptor"
 	"immune/internal/membership"
 	"immune/internal/netsim"
+	"immune/internal/obs"
 	"immune/internal/orb"
 	"immune/internal/recovery"
 	"immune/internal/replication"
 	"immune/internal/ring"
 	"immune/internal/sec"
 	"immune/internal/smp"
+	"immune/internal/voting"
 )
 
 // Config parameterizes a System.
@@ -72,6 +74,10 @@ type Config struct {
 	// OnMembershipChange, if set, observes processor membership installs
 	// (invoked once per processor per install).
 	OnMembershipChange func(self ids.ProcessorID, inst membership.Install)
+	// DisableMetrics turns the observability layer off: no registry or
+	// tracer is created, and every protocol-layer hook is a nil no-op
+	// (zero allocations on the hot paths). By default metrics are on.
+	DisableMetrics bool
 }
 
 // MaxFaulty returns the number of faulty processors a system of n
@@ -89,11 +95,13 @@ func MinCorrectReplicas(r int) int { return (r + 2) / 2 }
 
 // System is one Immune deployment: processors, network, protocol stacks.
 type System struct {
-	cfg   Config
-	net   *netsim.Network
-	procs map[ids.ProcessorID]*Processor
-	order []ids.ProcessorID
-	rec   *recovery.Manager
+	cfg    Config
+	net    *netsim.Network
+	procs  map[ids.ProcessorID]*Processor
+	order  []ids.ProcessorID
+	rec    *recovery.Manager
+	reg    *obs.Registry // nil when DisableMetrics
+	tracer *obs.Tracer   // nil when DisableMetrics
 
 	mu      sync.Mutex
 	started bool
@@ -134,6 +142,15 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg.CallTimeout = 10 * time.Second
 	}
 
+	// One registry and tracer per system: counters aggregate across
+	// processors, and the tracer's anchoring rule keeps per-invocation
+	// stage marks attributed to the invoking client's processor.
+	var reg *obs.Registry
+	if !cfg.DisableMetrics {
+		reg = obs.NewRegistry()
+	}
+	tracer := obs.NewTracer(reg)
+
 	s := &System{
 		cfg: cfg,
 		net: netsim.New(netsim.Config{
@@ -141,9 +158,12 @@ func NewSystem(cfg Config) (*System, error) {
 			Jitter:  cfg.NetJitter,
 			Plan:    cfg.Plan,
 			Seed:    cfg.Seed,
+			Metrics: netsim.MetricsFrom(reg),
 		}),
-		procs: make(map[ids.ProcessorID]*Processor, cfg.Processors),
-		specs: make(map[ids.ObjectGroupID]*groupSpec),
+		procs:  make(map[ids.ProcessorID]*Processor, cfg.Processors),
+		specs:  make(map[ids.ObjectGroupID]*groupSpec),
+		reg:    reg,
+		tracer: tracer,
 	}
 
 	members := make([]ids.ProcessorID, cfg.Processors)
@@ -186,6 +206,7 @@ func NewSystem(cfg Config) (*System, error) {
 			IdleDelay:      cfg.IdleDelay,
 			PollInterval:   cfg.PollInterval,
 			SuspectTimeout: cfg.SuspectTimeout,
+			Metrics:        smp.MetricsFrom(reg),
 			Deliver: func(d smp.Delivery) {
 				proc.mgr.HandleDelivery(d.Payload)
 			},
@@ -207,6 +228,11 @@ func NewSystem(cfg Config) (*System, error) {
 			Processors:  cfg.Processors,
 			CallTimeout: cfg.CallTimeout,
 			Retries:     cfg.InvokeRetries,
+			Jitter:      sec.NewSeededRand(cfg.Seed ^ (uint64(p)*0xbf58476d1ce4e5b9 + 3)),
+			Metrics:     replication.MetricsFrom(reg),
+			Tracer:      tracer,
+			InvVoting:   voting.MetricsFrom(reg, "voting.inv"),
+			RespVoting:  voting.MetricsFrom(reg, "voting.resp"),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: manager for %s: %w", p, err)
@@ -220,6 +246,8 @@ func NewSystem(cfg Config) (*System, error) {
 	rec, err := recovery.New(recovery.Config{
 		Cluster: clusterAdapter{s: s},
 		Backoff: cfg.RecoveryBackoff,
+		Jitter:  sec.NewSeededRand(cfg.Seed ^ 0x94d049bb133111eb),
+		Metrics: recovery.MetricsFrom(reg),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: recovery: %w", err)
@@ -395,6 +423,14 @@ func (s *System) ReattachProcessor(id ids.ProcessorID) {
 
 // NetStats returns the simulated network's counters.
 func (s *System) NetStats() netsim.Stats { return s.net.Stats() }
+
+// Metrics returns the system-wide metric registry, or nil when the
+// observability layer is disabled (Config.DisableMetrics).
+func (s *System) Metrics() *obs.Registry { return s.reg }
+
+// Snapshot returns a point-in-time copy of every registered metric. With
+// metrics disabled it returns an empty snapshot.
+func (s *System) Snapshot() obs.Snapshot { return s.reg.Snapshot() }
 
 // HostGroup hosts a server object group at the given replication degree:
 // one replica per processor (§3.1), created by factory on each host. With

@@ -1,0 +1,31 @@
+package netsim
+
+import "immune/internal/obs"
+
+// Metrics are the network's optional observability hooks, mirroring Stats
+// into a shared registry. The zero value is fully disabled (nil obs
+// handles are no-ops).
+type Metrics struct {
+	Sent       *obs.Counter
+	Delivered  *obs.Counter
+	Dropped    *obs.Counter
+	Corrupted  *obs.Counter
+	Duplicated *obs.Counter
+	BytesSent  *obs.Counter
+}
+
+// MetricsFrom registers the network metric family in reg. A nil registry
+// yields the disabled zero value.
+func MetricsFrom(reg *obs.Registry) Metrics {
+	if reg == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		Sent:       reg.Counter("net.sent"),
+		Delivered:  reg.Counter("net.delivered"),
+		Dropped:    reg.Counter("net.dropped"),
+		Corrupted:  reg.Counter("net.corrupted"),
+		Duplicated: reg.Counter("net.duplicated"),
+		BytesSent:  reg.Counter("net.bytes_sent"),
+	}
+}

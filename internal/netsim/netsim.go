@@ -103,6 +103,9 @@ type Config struct {
 	// Seed drives the deterministic RNG used for jitter and corruption
 	// byte selection.
 	Seed uint64
+	// Metrics are optional observability hooks mirroring Stats; the zero
+	// value disables them.
+	Metrics Metrics
 }
 
 // Network is the simulated LAN segment. Create with New, attach endpoints
@@ -212,6 +215,8 @@ func (n *Network) send(f Frame) {
 	n.stats.Sent++
 	n.stats.BytesSent += uint64(len(f.Payload))
 	n.statsMu.Unlock()
+	n.cfg.Metrics.Sent.Inc()
+	n.cfg.Metrics.BytesSent.Add(uint64(len(f.Payload)))
 
 	n.mu.Lock()
 	if n.closed || n.detached[f.From] {
@@ -244,6 +249,16 @@ func (n *Network) send(f Frame) {
 
 // deliverOne applies the fault plan and base latency for one receiver.
 func (n *Network) deliverOne(f Frame, ep *Endpoint) {
+	// The trust boundary: give this receiver its own private copy BEFORE
+	// the fault plan runs. Judge and the corruption path may mutate the
+	// payload, and the incoming backing array is shared with the sender's
+	// retained buffers (ring retransmission stores, memoized encodings)
+	// and with every other receiver of a broadcast. The zero-copy decoders
+	// downstream alias the delivered bytes, so any sharing here would let
+	// one receiver's corruption bleed into another's — or into the
+	// sender's own retransmissions.
+	f.Payload = append([]byte(nil), f.Payload...)
+
 	verdict, extra := n.cfg.Plan.Judge(f, ep.id)
 	copies := 1
 	switch verdict {
@@ -255,28 +270,30 @@ func (n *Network) deliverOne(f Frame, ep *Endpoint) {
 		n.statsMu.Lock()
 		n.stats.Duplicated++
 		n.statsMu.Unlock()
+		n.cfg.Metrics.Duplicated.Inc()
 	case Corrupt:
-		f = n.corrupt(f)
+		n.corrupt(f.Payload)
 		n.statsMu.Lock()
 		n.stats.Corrupted++
 		n.statsMu.Unlock()
+		n.cfg.Metrics.Corrupted.Inc()
 	case Deliver:
 	default:
 		// Unknown verdicts deliver: a buggy plan must not wedge runs.
 	}
-
-	// Copy the payload at the trust boundary so a receiver (or the
-	// corruption path) can never mutate the sender's buffer.
-	delivered := Frame{From: f.From, To: f.To, Payload: append([]byte(nil), f.Payload...)}
 
 	delay := n.cfg.Latency + extra
 	if n.cfg.Jitter > 0 {
 		delay += time.Duration(n.rng.uint64n(uint64(n.cfg.Jitter)))
 	}
 	for i := 0; i < copies; i++ {
-		frame := delivered
+		frame := f
 		if i > 0 {
-			frame.Payload = append([]byte(nil), delivered.Payload...)
+			// The second copy of a Duplicate gets its own backing array:
+			// both copies reach the same mailbox and the consumer may
+			// still hold the first when it mutates (or aliases) the
+			// second.
+			frame.Payload = append([]byte(nil), f.Payload...)
 		}
 		if delay == 0 {
 			ep.box.put(frame)
@@ -292,26 +309,27 @@ func (n *Network) deliverOne(f Frame, ep *Endpoint) {
 	}
 }
 
-// corrupt flips a random byte of the payload (a copy).
-func (n *Network) corrupt(f Frame) Frame {
-	p := append([]byte(nil), f.Payload...)
+// corrupt flips a random byte of the payload in place (callers pass a
+// payload already private to one receiver).
+func (n *Network) corrupt(p []byte) {
 	if len(p) > 0 {
 		idx := int(n.rng.uint64n(uint64(len(p))))
 		p[idx] ^= 0x5a
 	}
-	return Frame{From: f.From, To: f.To, Payload: p}
 }
 
 func (n *Network) countDropped(c uint64) {
 	n.statsMu.Lock()
 	n.stats.Dropped += c
 	n.statsMu.Unlock()
+	n.cfg.Metrics.Dropped.Add(c)
 }
 
 func (n *Network) countDelivered(c uint64) {
 	n.statsMu.Lock()
 	n.stats.Delivered += c
 	n.statsMu.Unlock()
+	n.cfg.Metrics.Delivered.Add(c)
 }
 
 // Endpoint is one processor's attachment to the network.

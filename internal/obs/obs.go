@@ -1,0 +1,319 @@
+// Package obs is the Immune system's observability layer: a
+// zero-dependency, allocation-conscious metrics registry (atomic counters,
+// gauges, and fixed-bucket latency histograms) plus a per-invocation trace
+// that timestamps each stage of the paper's invocation path (§8, Figure 7).
+//
+// Every hook is nil-safe: methods on a nil *Counter, *Gauge, *Histogram,
+// or *Tracer are no-ops that perform zero allocations, so the protocol
+// packages can be instrumented unconditionally and pay nothing when a
+// layer is built without a registry (see the allocs/op budget tests).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op (and alloc-free) on nil.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value. No-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the value by delta. No-op on nil.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value (0 on nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// numBuckets is the fixed latency histogram resolution: bucket i counts
+// observations in [2^(i-1), 2^i) microseconds, so the range spans 1µs to
+// ~34s with the last bucket absorbing everything beyond.
+const numBuckets = 26
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free and
+// allocation-free; buckets are powers of two in microseconds.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	i := bits.Len64(us) // 0 for 0µs, 1 for 1µs, ...
+	if i >= numBuckets {
+		i = numBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns the exclusive upper bound of bucket i.
+func BucketBound(i int) time.Duration {
+	if i >= numBuckets-1 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}
+
+// Observe records one duration. Negative durations clamp to zero. No-op
+// (and alloc-free) on nil.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(uint64(d))
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// snapshot captures a consistent-enough view of the histogram. Counters
+// are read individually; under concurrent Observe the totals may be off by
+// in-flight updates, which is acceptable for monitoring.
+func (h *Histogram) snapshot() HistogramValue {
+	v := HistogramValue{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sumNs.Load()),
+	}
+	for i := range h.buckets {
+		v.Buckets[i] = h.buckets[i].Load()
+	}
+	return v
+}
+
+// HistogramValue is a point-in-time copy of a histogram.
+type HistogramValue struct {
+	Count   uint64
+	Sum     time.Duration
+	Buckets [numBuckets]uint64
+}
+
+// Mean returns the mean observed duration.
+func (v HistogramValue) Mean() time.Duration {
+	if v.Count == 0 {
+		return 0
+	}
+	return v.Sum / time.Duration(v.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts,
+// reporting the upper bound of the bucket containing the quantile rank.
+func (v HistogramValue) Quantile(q float64) time.Duration {
+	if v.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(v.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += v.Buckets[i]
+		if seen >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(numBuckets - 1)
+}
+
+// Registry holds named metrics. Registration is idempotent by name; the
+// hot paths hold only the returned pointers, never the registry lock.
+// All methods are safe for concurrent use. A nil *Registry returns nil
+// metrics from every constructor, which disables the hooks it would feed.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil (a disabled hook) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil (a disabled hook) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Returns nil (a disabled hook) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every registered metric. Nil registries yield an empty
+// snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramValue{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramValue
+}
+
+// Counter returns a counter's value (0 when absent).
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// String renders the snapshot as a sorted expvar-style text dump:
+// one "name value" line per counter/gauge, and one
+// "name count=N mean=M p50=... p99=..." line per histogram.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%s count=%d mean=%s p50=%s p99=%s\n",
+			n, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+	}
+	return b.String()
+}

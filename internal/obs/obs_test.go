@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"immune/internal/ids"
+)
+
+func TestNilHooksAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(time.Millisecond)
+	tr.Mark(ids.OperationID{ClientGroup: 1, Seq: 1}, StageIntercept)
+	tr.SetClock(time.Now)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || tr.InFlight() != 0 {
+		t.Fatalf("nil hooks mutated state")
+	}
+}
+
+func TestNilHooksZeroAllocs(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	var tr *Tracer
+	op := ids.OperationID{ClientGroup: 9, Seq: 42}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(5)
+		h.Observe(time.Microsecond)
+		tr.Mark(op, StageOrdered)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil hooks allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestNilRegistryReturnsDisabledHooks(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatalf("nil registry returned live metrics")
+	}
+	if NewTracer(nil) != nil {
+		t.Fatalf("NewTracer(nil) should be nil")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty")
+	}
+}
+
+func TestRegistryIdempotentAndConcurrent(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatalf("Counter not idempotent by name")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counter("shared") != 8000 {
+		t.Fatalf("counter = %d, want 8000", s.Counter("shared"))
+	}
+	if s.Gauges["g"] != 8000 {
+		t.Fatalf("gauge = %d, want 8000", s.Gauges["g"])
+	}
+	if s.Histograms["h"].Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", s.Histograms["h"].Count)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{2 * time.Microsecond, 2},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 3},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{time.Hour, numBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.d); got != tc.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+	h := &Histogram{}
+	h.Observe(-time.Second) // clamps to zero
+	h.Observe(10 * time.Microsecond)
+	v := h.snapshot()
+	if v.Count != 2 {
+		t.Fatalf("count = %d, want 2", v.Count)
+	}
+	if v.Buckets[0] != 1 || v.Buckets[4] != 1 {
+		t.Fatalf("unexpected bucket spread: %v", v.Buckets)
+	}
+	if v.Mean() != 5*time.Microsecond {
+		t.Fatalf("mean = %v", v.Mean())
+	}
+	if q := v.Quantile(0.99); q < 10*time.Microsecond {
+		t.Fatalf("p99 = %v, want >= 10µs", q)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ring.delivered").Add(12)
+	r.Gauge("smp.members").Set(5)
+	r.Histogram("trace.total").Observe(3 * time.Millisecond)
+	out := r.Snapshot().String()
+	for _, want := range []string{"ring.delivered 12", "smp.members 5", "trace.total count=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerLifecycle(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r)
+	base := time.Unix(0, 0)
+	step := 0
+	tr.SetClock(func() time.Time {
+		step++
+		return base.Add(time.Duration(step) * time.Millisecond)
+	})
+	op := ids.OperationID{ClientGroup: 1, Seq: 7}
+	for _, s := range Stages() {
+		tr.Mark(op, s)
+	}
+	if tr.InFlight() != 0 {
+		t.Fatalf("trace not released after StageReplied")
+	}
+	s := r.Snapshot()
+	if s.Histograms["trace.total"].Count != 1 {
+		t.Fatalf("total not observed: %+v", s.Histograms)
+	}
+	// 6 transitions of 1ms each, total = 6ms.
+	if got := s.Histograms["trace.total"].Mean(); got != 6*time.Millisecond {
+		t.Fatalf("total mean = %v, want 6ms", got)
+	}
+	for i := 0; i < int(numStages)-1; i++ {
+		name := "trace." + Stage(i).String() + "_to_" + Stage(i+1).String()
+		hv := s.Histograms[name]
+		if hv.Count != 1 || hv.Mean() != time.Millisecond {
+			t.Fatalf("%s: count=%d mean=%v", name, hv.Count, hv.Mean())
+		}
+	}
+}
+
+// TestTracerFinishOneWay: a one-way invocation's trace ends at submission.
+// Finish completes it there, observing submit − intercept as the total, and
+// frees the slot instead of leaking it until the table caps out.
+func TestTracerFinishOneWay(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r)
+	base := time.Unix(0, 0)
+	step := 0
+	tr.SetClock(func() time.Time {
+		step++
+		return base.Add(time.Duration(step) * time.Millisecond)
+	})
+	op := ids.OperationID{ClientGroup: 9, Seq: 1}
+	tr.Mark(op, StageIntercept) // t=1ms
+	tr.Mark(op, StageSubmit)    // t=2ms
+	tr.Finish(op)
+	if tr.InFlight() != 0 {
+		t.Fatal("one-way trace not released by Finish")
+	}
+	s := r.Snapshot()
+	if hv := s.Histograms["trace.total"]; hv.Count != 1 || hv.Mean() != time.Millisecond {
+		t.Fatalf("total: count=%d mean=%v, want 1 × 1ms", hv.Count, hv.Mean())
+	}
+	if hv := s.Histograms["trace.intercept_to_submit"]; hv.Count != 1 || hv.Mean() != time.Millisecond {
+		t.Fatalf("intercept_to_submit: count=%d mean=%v, want 1 × 1ms", hv.Count, hv.Mean())
+	}
+	// Finish on an unknown operation is a no-op.
+	tr.Finish(ids.OperationID{ClientGroup: 9, Seq: 2})
+	if got := r.Snapshot().Histograms["trace.total"].Count; got != 1 {
+		t.Fatalf("unknown-op Finish observed something: count=%d", got)
+	}
+}
+
+func TestTracerFirstMarkWins(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r)
+	base := time.Unix(0, 0)
+	step := 0
+	tr.SetClock(func() time.Time {
+		step++
+		return base.Add(time.Duration(step) * time.Millisecond)
+	})
+	op := ids.OperationID{ClientGroup: 2, Seq: 1}
+	tr.Mark(op, StageIntercept) // t=1ms
+	tr.Mark(op, StageOrdered)   // t=2ms
+	tr.Mark(op, StageOrdered)   // duplicate mark from another replica: ignored
+	tr.Mark(op, StageOrdered)   // (ignored marks consume no clock reads)
+	tr.Mark(op, StageReplied)   // t=3ms
+	s := r.Snapshot()
+	// intercept->ordered bridged over the unmarked submit stage = 1ms;
+	// ordered->replied bridged over voted/executed/resp_voted = 1ms.
+	// Had the duplicate marks overwritten the ordered timestamp, they
+	// would have consumed clock reads and total would exceed 2ms.
+	if got := s.Histograms["trace.submit_to_ordered"].Mean(); got != time.Millisecond {
+		t.Fatalf("intercept->ordered = %v, want 1ms", got)
+	}
+	if got := s.Histograms["trace.resp_voted_to_replied"].Mean(); got != time.Millisecond {
+		t.Fatalf("ordered->replied = %v, want 1ms", got)
+	}
+	if got := s.Histograms["trace.total"].Mean(); got != 2*time.Millisecond {
+		t.Fatalf("total = %v, want 2ms", got)
+	}
+}
+
+func TestTracerIgnoresUnanchoredStages(t *testing.T) {
+	tr := NewTracer(NewRegistry())
+	op := ids.OperationID{ClientGroup: 3, Seq: 9}
+	tr.Mark(op, StageVoted) // no intercept/submit seen: dropped
+	if tr.InFlight() != 0 {
+		t.Fatalf("unanchored mid-path stage created a trace")
+	}
+}
+
+func TestTracerBounded(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r)
+	for i := 0; i < traceCap+100; i++ {
+		tr.Mark(ids.OperationID{ClientGroup: 1, Seq: uint64(i)}, StageIntercept)
+	}
+	if got := tr.InFlight(); got != traceCap {
+		t.Fatalf("in-flight = %d, want cap %d", got, traceCap)
+	}
+	if got := r.Snapshot().Counter("trace.dropped"); got != 100 {
+		t.Fatalf("dropped = %d, want 100", got)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				op := ids.OperationID{ClientGroup: ids.ObjectGroupID(g + 1), Seq: uint64(i)}
+				for _, s := range Stages() {
+					tr.Mark(op, s)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after completion", tr.InFlight())
+	}
+	if got := r.Snapshot().Histograms["trace.total"].Count; got != 2000 {
+		t.Fatalf("total count = %d, want 2000", got)
+	}
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"immune/internal/ids"
+)
+
+// Stage identifies one point on the invocation path of paper §8 / Figure 7:
+// the client-side interceptor captures the request, the Replication Manager
+// submits it to the Secure Multicast Protocols, the token ring orders it,
+// the server-side voter V_I decides it, the replica executes it, the
+// client-side voter V_R decides the response, and the reply returns to the
+// caller.
+type Stage uint8
+
+const (
+	// StageIntercept: the interceptor captured the client request.
+	StageIntercept Stage = iota
+	// StageSubmit: the Replication Manager submitted the invocation
+	// message to the multicast stack.
+	StageSubmit
+	// StageOrdered: the token ring delivered the invocation in total
+	// order at this processor.
+	StageOrdered
+	// StageVoted: the invocation voter V_I reached a majority.
+	StageVoted
+	// StageExecuted: the server replica executed the request and
+	// submitted its response copy.
+	StageExecuted
+	// StageRespVoted: the response voter V_R reached a majority.
+	StageRespVoted
+	// StageReplied: the reply was handed back to the waiting caller.
+	StageReplied
+
+	numStages
+)
+
+// String returns the stage's metric-name fragment.
+func (s Stage) String() string {
+	switch s {
+	case StageIntercept:
+		return "intercept"
+	case StageSubmit:
+		return "submit"
+	case StageOrdered:
+		return "ordered"
+	case StageVoted:
+		return "voted"
+	case StageExecuted:
+		return "executed"
+	case StageRespVoted:
+		return "resp_voted"
+	case StageReplied:
+		return "replied"
+	}
+	return "unknown"
+}
+
+// Stages lists every stage in path order (for iteration by dumps and docs).
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// traceCap bounds the number of in-flight traced invocations. Marks for
+// new operations are dropped once the table is full; completed traces free
+// their slot, so steady-state traffic is unaffected.
+const traceCap = 4096
+
+// traceRec holds the first-seen timestamp of each stage for one operation.
+type traceRec struct {
+	at [numStages]time.Time
+}
+
+// Tracer timestamps invocation lifecycle stages keyed by the operation
+// identifier from internal/ids. Several layers mark the same operation
+// (possibly the same stage, e.g. StageOrdered at every replica); the first
+// mark of a stage wins, matching the paper's measurement of the first copy
+// through each mechanism.
+//
+// When StageReplied is marked, the per-stage transition latencies and the
+// end-to-end latency are folded into the Tracer's histograms and the
+// operation's slot is released.
+//
+// A nil *Tracer is a disabled hook: Mark is a no-op and allocates nothing.
+type Tracer struct {
+	mu   sync.Mutex
+	ops  map[ids.OperationID]*traceRec
+	free []*traceRec // recycled records, so steady state allocates nothing
+
+	// transitions[i] observes at[i+1] - at[i]; total observes
+	// StageReplied - StageIntercept.
+	transitions [numStages - 1]*Histogram
+	total       *Histogram
+	dropped     *Counter
+
+	now func() time.Time
+}
+
+// NewTracer builds a tracer whose transition histograms live in reg under
+// "trace.<from>_to_<to>" plus "trace.total". Returns nil when reg is nil.
+func NewTracer(reg *Registry) *Tracer {
+	if reg == nil {
+		return nil
+	}
+	t := &Tracer{
+		ops:     make(map[ids.OperationID]*traceRec, traceCap),
+		total:   reg.Histogram("trace.total"),
+		dropped: reg.Counter("trace.dropped"),
+		now:     time.Now,
+	}
+	for i := 0; i < int(numStages)-1; i++ {
+		name := "trace." + Stage(i).String() + "_to_" + Stage(i+1).String()
+		t.transitions[i] = reg.Histogram(name)
+	}
+	return t
+}
+
+// SetClock overrides the tracer's time source (tests only).
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+// Mark records stage s for operation op at the current time. The first
+// mark of each stage wins; marking StageReplied completes the trace. No-op
+// on a nil tracer.
+func (t *Tracer) Mark(op ids.OperationID, s Stage) {
+	if t == nil || s >= numStages {
+		return
+	}
+	t.mu.Lock()
+	rec := t.ops[op]
+	if rec == nil {
+		if s != StageIntercept && s != StageSubmit {
+			// A mid-path stage for an operation we never saw start (e.g.
+			// marks arriving after completion, or the table overflowed):
+			// nothing to anchor the trace to.
+			t.mu.Unlock()
+			return
+		}
+		if len(t.ops) >= traceCap {
+			t.mu.Unlock()
+			t.dropped.Inc()
+			return
+		}
+		if n := len(t.free); n > 0 {
+			rec = t.free[n-1]
+			t.free = t.free[:n-1]
+			*rec = traceRec{}
+		} else {
+			rec = &traceRec{}
+		}
+		t.ops[op] = rec
+	}
+	if rec.at[s].IsZero() {
+		rec.at[s] = t.now()
+	}
+	if s == StageReplied {
+		t.completeLocked(op, rec)
+	}
+	t.mu.Unlock()
+}
+
+// Finish completes an operation's trace at its last marked stage. One-way
+// invocations use this: their lifecycle ends at multicast submission, so
+// the end-to-end histogram observes submit − intercept rather than a full
+// round trip. No-op on a nil tracer or an unknown operation.
+func (t *Tracer) Finish(op ids.OperationID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if rec, ok := t.ops[op]; ok {
+		t.completeLocked(op, rec)
+	}
+	t.mu.Unlock()
+}
+
+// Abort discards an operation's trace without observing it (the caller
+// gave up on the invocation, e.g. a timeout). No-op on a nil tracer or an
+// unknown operation.
+func (t *Tracer) Abort(op ids.OperationID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if rec, ok := t.ops[op]; ok {
+		delete(t.ops, op)
+		if len(t.free) < traceCap/4 {
+			t.free = append(t.free, rec)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// InFlight returns the number of operations currently being traced.
+func (t *Tracer) InFlight() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ops)
+}
+
+// completeLocked folds the finished trace into the histograms and recycles
+// its record. Stages that were never marked (e.g. StageExecuted on a pure
+// client processor) are bridged: each observed transition spans from the
+// previous marked stage.
+func (t *Tracer) completeLocked(op ids.OperationID, rec *traceRec) {
+	delete(t.ops, op)
+	prev := -1
+	for i := 0; i < int(numStages); i++ {
+		if rec.at[i].IsZero() {
+			continue
+		}
+		if prev >= 0 {
+			// Attribute the span to the transition ending at stage i.
+			t.transitions[i-1].Observe(rec.at[i].Sub(rec.at[prev]))
+		}
+		prev = i
+	}
+	first := rec.at[StageIntercept]
+	if first.IsZero() {
+		first = rec.at[StageSubmit]
+	}
+	if !first.IsZero() && prev >= 0 {
+		// prev is the last marked stage: StageReplied for two-way calls,
+		// StageSubmit for one-way calls finished at submission.
+		t.total.Observe(rec.at[prev].Sub(first))
+	}
+	if len(t.free) < traceCap/4 {
+		t.free = append(t.free, rec)
+	}
+}

@@ -1,0 +1,29 @@
+package recovery
+
+import "immune/internal/obs"
+
+// Metrics are the recovery manager's optional observability hooks. The
+// zero value is fully disabled (nil obs handles are no-ops).
+type Metrics struct {
+	// Rehostings counts replica placements that activated (§3.1 replica
+	// reallocation completions).
+	Rehostings *obs.Counter
+	// PlacementFailures counts abandoned placements that entered backoff
+	// (target excluded mid-transfer, activation timeout, host failure).
+	PlacementFailures *obs.Counter
+	// PlacementsStarted counts placements initiated.
+	PlacementsStarted *obs.Counter
+}
+
+// MetricsFrom registers the recovery metric family in reg. A nil registry
+// yields the disabled zero value.
+func MetricsFrom(reg *obs.Registry) Metrics {
+	if reg == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		Rehostings:        reg.Counter("recovery.rehostings"),
+		PlacementFailures: reg.Counter("recovery.placement_failures"),
+		PlacementsStarted: reg.Counter("recovery.placements_started"),
+	}
+}

@@ -14,12 +14,12 @@ package recovery
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
 	"immune/internal/ids"
+	"immune/internal/sec"
 )
 
 // Placement is a live handle on one in-flight re-hosting: it reports
@@ -146,6 +146,13 @@ type Config struct {
 	// Cooldown keeps a processor that failed a group's placement out of
 	// that group's candidate set for a while; 0 means 1s.
 	Cooldown time.Duration
+	// Jitter randomizes retry backoff. Injecting a seeded source keeps
+	// retry schedules reproducible from the system seed; nil means no
+	// jitter (fully deterministic half-backoff).
+	Jitter *sec.SeededRand
+	// Metrics are optional observability hooks; the zero value disables
+	// them.
+	Metrics Metrics
 }
 
 // eventCap bounds the retained event history.
@@ -347,6 +354,7 @@ func (m *Manager) reconcile() {
 			pl:       pl,
 			deadline: now.Add(m.cfg.ActivationTimeout),
 		}
+		m.cfg.Metrics.PlacementsStarted.Inc()
 		m.eventLocked(Event{
 			Time: now, Kind: EventPlacementStarted, Group: g, Processor: target,
 			Detail: fmt.Sprintf("%d/%d live", len(hosts), st.degree),
@@ -368,6 +376,7 @@ func (m *Manager) settleInflightLocked(now time.Time, g ids.ObjectGroupID, st *g
 		st.failures = 0
 		st.nextTry = time.Time{}
 		st.recoveries++
+		m.cfg.Metrics.Rehostings.Inc()
 		m.eventLocked(Event{Time: now, Kind: EventReplicaRestored, Group: g, Processor: fl.target})
 	case !alive[fl.target]:
 		// The chosen processor was excluded mid-transfer; its replica is
@@ -390,12 +399,9 @@ func (m *Manager) settleInflightLocked(now time.Time, g ids.ObjectGroupID, st *g
 func (m *Manager) failureLocked(now time.Time, g ids.ObjectGroupID, st *groupState,
 	target ids.ProcessorID, detail string) {
 	st.cooldown[target] = now.Add(m.cfg.Cooldown)
-	backoff := m.cfg.Backoff << uint(st.failures)
-	if backoff > m.cfg.MaxBackoff || backoff <= 0 {
-		backoff = m.cfg.MaxBackoff
-	}
-	backoff = backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+	backoff := sec.JitteredBackoff(m.cfg.Backoff, st.failures, m.cfg.MaxBackoff, m.cfg.Jitter)
 	st.failures++
+	m.cfg.Metrics.PlacementFailures.Inc()
 	st.nextTry = now.Add(backoff)
 	m.eventLocked(Event{Time: now, Kind: EventPlacementFailed, Group: g, Processor: target, Detail: detail})
 }

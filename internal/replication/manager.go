@@ -14,12 +14,12 @@ package replication
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
 	"immune/internal/group"
 	"immune/internal/ids"
+	"immune/internal/obs"
 	"immune/internal/orb"
 	"immune/internal/sec"
 	"immune/internal/voting"
@@ -65,6 +65,21 @@ type Config struct {
 	// RetryBackoff is the base backoff between re-sends (jittered,
 	// doubled per attempt, capped); 0 means 10ms.
 	RetryBackoff time.Duration
+	// Jitter randomizes retry backoff. Injecting a seeded source keeps
+	// retry schedules reproducible from the system seed (the global
+	// math/rand would defeat the netsim substrate's determinism); nil
+	// means no jitter (fully deterministic half-backoff).
+	Jitter *sec.SeededRand
+	// Metrics are optional observability hooks; the zero value disables
+	// them.
+	Metrics Metrics
+	// Tracer, when non-nil, timestamps each invocation's lifecycle
+	// stages (obs.StageIntercept .. obs.StageReplied).
+	Tracer *obs.Tracer
+	// InvVoting / RespVoting are optional hooks for the V_I and V_R
+	// voters (they survive voter resets on exclusion/resync).
+	InvVoting  voting.Metrics
+	RespVoting voting.Metrics
 }
 
 // Manager is one processor's Replication Manager.
@@ -74,6 +89,11 @@ type Manager struct {
 	callTimeout  time.Duration
 	retries      int
 	retryBackoff time.Duration
+	jitter       *sec.SeededRand
+	met          Metrics
+	tracer       *obs.Tracer
+	invVM        voting.Metrics
+	respVM       voting.Metrics
 
 	mu        sync.Mutex
 	dir       *group.Directory
@@ -171,6 +191,11 @@ func NewManager(cfg Config) (*Manager, error) {
 		callTimeout:  cfg.CallTimeout,
 		retries:      cfg.Retries,
 		retryBackoff: cfg.RetryBackoff,
+		jitter:       cfg.Jitter,
+		met:          cfg.Metrics,
+		tracer:       cfg.Tracer,
+		invVM:        cfg.InvVoting,
+		respVM:       cfg.RespVoting,
 		dir:          group.NewDirectory(),
 		hosted:       make(map[ids.ObjectGroupID]*replicaState),
 		waiters:      make(map[ids.OperationID]chan invokeResult),
@@ -183,6 +208,8 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	m.invVoter = voting.NewVoter(m.dir.Size)
 	m.respVoter = voting.NewVoter(m.dir.Size)
+	m.invVoter.SetMetrics(m.invVM)
+	m.respVoter.SetMetrics(m.respVM)
 	m.vfd = newValueFaultDetector(cfg.Processors, func(r ids.ReplicaID) {
 		m.stack.ValueFaultSuspect(r.Processor)
 	})
@@ -351,8 +378,13 @@ func (h *Handle) InvokeDeadline(target ids.ObjectGroupID, iiopRequest []byte, de
 		case res := <-ch:
 			timer.Stop()
 			if res.err != nil {
+				h.m.tracer.Abort(op)
 				return nil, res.err
 			}
+			// Normally a no-op (the waiter delivery completed the trace);
+			// it completes the cached-response path, where the reply was
+			// queued before any waiter existed.
+			h.m.tracer.Mark(op, obs.StageReplied)
 			return res.payload, nil
 		case <-timer.C:
 		}
@@ -361,11 +393,7 @@ func (h *Handle) InvokeDeadline(target ids.ObjectGroupID, iiopRequest []byte, de
 		}
 		// Jittered backoff, then re-multicast the identical message (same
 		// operation id — voters discard copies of decided operations).
-		backoff := h.m.retryBackoff << uint(attempt)
-		if cap := 250 * time.Millisecond; backoff > cap {
-			backoff = cap
-		}
-		backoff = backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		backoff := sec.JitteredBackoff(h.m.retryBackoff, attempt, 250*time.Millisecond, h.m.jitter)
 		if wait := time.Until(deadline); backoff > wait {
 			backoff = wait
 		}
@@ -384,6 +412,7 @@ func (h *Handle) InvokeDeadline(target ids.ObjectGroupID, iiopRequest []byte, de
 		if err := h.m.stack.Submit(raw); err != nil {
 			return nil, h.m.timeoutError(op, target, deadline)
 		}
+		h.m.met.Retries.Inc()
 	}
 }
 
@@ -392,6 +421,7 @@ func (h *Handle) InvokeDeadline(target ids.ObjectGroupID, iiopRequest []byte, de
 // quorum; a live degree below ⌈(r+1)/2⌉ of the group's high-water degree
 // is degradation; otherwise a plain timeout.
 func (m *Manager) timeoutError(op ids.OperationID, target ids.ObjectGroupID, deadline time.Time) error {
+	m.tracer.Abort(op)
 	m.mu.Lock()
 	delete(m.waiters, op)
 	size := m.dir.Size(target)
@@ -429,6 +459,7 @@ func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bo
 	}
 	h.st.opSeq++
 	op := ids.OperationID{ClientGroup: h.st.id.Group, Seq: h.st.opSeq}
+	m.tracer.Mark(op, obs.StageIntercept)
 	var ch chan invokeResult
 	if twoway {
 		ch = make(chan invokeResult, 1)
@@ -443,6 +474,7 @@ func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bo
 	}
 	m.stats.InvocationsSent++
 	m.mu.Unlock()
+	m.met.InvocationsSent.Inc()
 
 	msg := &group.Message{
 		Kind:    group.KindInvocation,
@@ -458,7 +490,14 @@ func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bo
 			delete(m.waiters, op)
 			m.mu.Unlock()
 		}
+		m.tracer.Abort(op)
 		return op, nil, nil, fmt.Errorf("replication: multicast invocation: %w", err)
+	}
+	m.tracer.Mark(op, obs.StageSubmit)
+	if !twoway {
+		// A one-way invocation's client-side lifecycle ends here; complete
+		// the trace so its slot does not linger until the table caps out.
+		m.tracer.Finish(op)
 	}
 	return op, ch, raw, nil
 }
@@ -631,6 +670,7 @@ func (m *Manager) handleInvocation(msg *group.Message) {
 		return // sender is not a current member of its claimed group
 	}
 	m.invDest[msg.Op] = msg.Dest
+	m.tracer.Mark(msg.Op, obs.StageOrdered)
 	d := sec.Digest(msg.Payload)
 	out := m.invVoter.OfferDigest(msg.Op, msg.Sender, msg.Payload, d)
 	m.noteOutcome(msg, out, d)
@@ -639,6 +679,8 @@ func (m *Manager) handleInvocation(msg *group.Message) {
 	}
 	delete(m.invDest, msg.Op)
 	m.stats.InvocationsDecided++
+	m.met.InvocationsDecided.Inc()
+	m.tracer.Mark(msg.Op, obs.StageVoted)
 	if !st.active {
 		st.backlog = append(st.backlog, backlogEntry{op: msg.Op, payload: out.Payload})
 		return
@@ -662,6 +704,8 @@ func (m *Manager) dispatchInvocation(st *replicaState, op ids.OperationID, iiopR
 	}
 	if err := m.stack.Submit(resp.Marshal()); err == nil {
 		m.stats.ResponsesSent++
+		m.met.ResponsesSent.Inc()
+		m.tracer.Mark(op, obs.StageExecuted)
 	}
 }
 
@@ -681,6 +725,8 @@ func (m *Manager) handleResponse(msg *group.Message) {
 		return
 	}
 	m.stats.ResponsesDecided++
+	m.met.ResponsesDecided.Inc()
+	m.tracer.Mark(msg.Op, obs.StageRespVoted)
 	m.deliverResponseLocked(msg.Op, out.Payload)
 }
 
@@ -690,6 +736,7 @@ func (m *Manager) deliverResponseLocked(op ids.OperationID, payload []byte) {
 	if ch, ok := m.waiters[op]; ok {
 		delete(m.waiters, op)
 		ch <- invokeResult{payload: payload}
+		m.tracer.Mark(op, obs.StageReplied)
 		return
 	}
 	if _, dup := m.respCache[op]; dup {
@@ -711,6 +758,7 @@ func (m *Manager) deliverResponseLocked(op ids.OperationID, payload []byte) {
 func (m *Manager) noteOutcome(msg *group.Message, out voting.Outcome, d [sec.DigestSize]byte) {
 	if out.Duplicate {
 		m.stats.DuplicatesDiscarded++
+		m.met.Duplicates.Inc()
 	}
 	var deviants []ids.ReplicaID
 	deviants = append(deviants, out.Deviants...)
@@ -721,6 +769,7 @@ func (m *Manager) noteOutcome(msg *group.Message, out voting.Outcome, d [sec.Dig
 		return
 	}
 	m.stats.ValueFaults += uint64(len(deviants))
+	m.met.ValueFaults.Add(uint64(len(deviants)))
 	// Local observation, then a Value_Fault_Vote to the base group so
 	// that every Replication Manager reaches the same verdict (§6.2).
 	votes := make([]group.VoteEntry, 0, len(deviants))
@@ -784,6 +833,7 @@ func (m *Manager) handleState(msg *group.Message) {
 	st.active = true
 	st.needState = false
 	m.stats.StateTransfers++
+	m.met.StateTransfers.Inc()
 	backlog := st.backlog
 	st.backlog = nil
 	for _, b := range backlog {
@@ -870,6 +920,8 @@ func (m *Manager) resetLocked() {
 	m.dir = group.NewDirectory()
 	m.invVoter = voting.NewVoter(m.dir.Size)
 	m.respVoter = voting.NewVoter(m.dir.Size)
+	m.invVoter.SetMetrics(m.invVM)
+	m.respVoter.SetMetrics(m.respVM)
 	m.invDest = make(map[ids.OperationID]ids.ObjectGroupID)
 	m.joinSeq = make(map[ids.ObjectGroupID]uint64)
 	m.members = make(map[ids.ReplicaID]*memberInfo)
@@ -982,6 +1034,8 @@ func (m *Manager) applySyncLocked(state *group.SyncState) {
 	m.dir = group.NewDirectory()
 	m.invVoter = voting.NewVoter(m.dir.Size)
 	m.respVoter = voting.NewVoter(m.dir.Size)
+	m.invVoter.SetMetrics(m.invVM)
+	m.respVoter.SetMetrics(m.respVM)
 	m.invDest = make(map[ids.OperationID]ids.ObjectGroupID)
 	m.joinSeq = make(map[ids.ObjectGroupID]uint64)
 	m.members = make(map[ids.ReplicaID]*memberInfo)
@@ -1070,6 +1124,7 @@ func (m *Manager) EvictReplica(r ids.ReplicaID) error {
 func (m *Manager) recheckLocked() {
 	for _, dec := range m.invVoter.Recheck() {
 		m.stats.InvocationsDecided++
+		m.met.InvocationsDecided.Inc()
 		dest, ok := m.invDest[dec.Op]
 		if !ok {
 			continue
@@ -1087,6 +1142,7 @@ func (m *Manager) recheckLocked() {
 	}
 	for _, dec := range m.respVoter.Recheck() {
 		m.stats.ResponsesDecided++
+		m.met.ResponsesDecided.Inc()
 		m.deliverResponseLocked(dec.Op, dec.Payload)
 	}
 }

@@ -1,0 +1,39 @@
+package replication
+
+import "immune/internal/obs"
+
+// Metrics are the Replication Manager's optional observability hooks,
+// mirroring Stats into a shared registry. The zero value is fully disabled
+// (nil obs handles are no-ops).
+type Metrics struct {
+	InvocationsSent    *obs.Counter
+	ResponsesSent      *obs.Counter
+	InvocationsDecided *obs.Counter
+	ResponsesDecided   *obs.Counter
+	// Duplicates counts copies suppressed after decisions (§5.1).
+	Duplicates *obs.Counter
+	// ValueFaults counts deviant copies observed locally (§6.2).
+	ValueFaults *obs.Counter
+	// Retries counts invocation re-sends within a call deadline.
+	Retries *obs.Counter
+	// StateTransfers counts snapshots installed on joining replicas.
+	StateTransfers *obs.Counter
+}
+
+// MetricsFrom registers the Replication Manager metric family in reg. A
+// nil registry yields the disabled zero value.
+func MetricsFrom(reg *obs.Registry) Metrics {
+	if reg == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		InvocationsSent:    reg.Counter("rm.invocations_sent"),
+		ResponsesSent:      reg.Counter("rm.responses_sent"),
+		InvocationsDecided: reg.Counter("rm.invocations_decided"),
+		ResponsesDecided:   reg.Counter("rm.responses_decided"),
+		Duplicates:         reg.Counter("rm.duplicates_discarded"),
+		ValueFaults:        reg.Counter("rm.value_faults"),
+		Retries:            reg.Counter("rm.retries"),
+		StateTransfers:     reg.Counter("rm.state_transfers"),
+	}
+}

@@ -107,8 +107,9 @@ type cluster struct {
 }
 
 // newCluster builds a cluster at the given security level. Keys are
-// generated deterministically per processor.
-func newCluster(t *testing.T, nProcs int, level sec.Level, netCfg netsim.Config) *cluster {
+// generated deterministically per processor. Options mutate each node's
+// ring Config before construction.
+func newCluster(t *testing.T, nProcs int, level sec.Level, netCfg netsim.Config, opts ...func(*Config)) *cluster {
 	t.Helper()
 	nw := netsim.New(netCfg)
 	members := make([]ids.ProcessorID, nProcs)
@@ -140,7 +141,7 @@ func newCluster(t *testing.T, nProcs int, level sec.Level, netCfg netsim.Config)
 			t.Fatal(err)
 		}
 		nd := &node{id: p, ep: ep, rec: &recorder{}, done: make(chan struct{})}
-		r, err := New(Config{
+		cfg := Config{
 			Self:         p,
 			Members:      members,
 			Ring:         1,
@@ -153,7 +154,11 @@ func newCluster(t *testing.T, nProcs int, level sec.Level, netCfg netsim.Config)
 				defer nd.mu.Unlock()
 				nd.deliv = append(nd.deliv, m)
 			},
-		})
+		}
+		for _, opt := range opts {
+			opt(&cfg)
+		}
+		r, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

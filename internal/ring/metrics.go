@@ -1,0 +1,50 @@
+package ring
+
+import "immune/internal/obs"
+
+// Metrics are the ring's optional observability hooks. The zero value is
+// fully disabled: every field is a nil obs handle whose methods are no-ops,
+// so an uninstrumented ring pays nothing on the token hot path (see the
+// allocs/op budget test).
+type Metrics struct {
+	// TokensSigned counts tokens signed by this processor.
+	TokensSigned *obs.Counter
+	// TokensVerified counts signature verifications that reached the
+	// crypto suite (cache misses and preverified batches).
+	TokensVerified *obs.Counter
+	// VerifyCacheHits counts verifications answered by the verify cache.
+	VerifyCacheHits *obs.Counter
+	// Rotation observes the time between this processor's consecutive
+	// token holds — the paper's token rotation time (§8, Table 2).
+	Rotation *obs.Histogram
+	// Delivered counts messages delivered in total order.
+	Delivered *obs.Counter
+	// Originated counts messages originated by this processor.
+	Originated *obs.Counter
+	// Retransmissions counts message retransmissions performed.
+	Retransmissions *obs.Counter
+	// TokenResends counts token retransmissions after timeout.
+	TokenResends *obs.Counter
+	// Rejects counts discarded tokens and digest-mismatched messages.
+	Rejects *obs.Counter
+}
+
+// MetricsFrom registers the ring metric family in reg. A nil registry
+// yields the disabled zero value. The names are shared by every ring
+// incarnation on a processor, so counters survive membership changes.
+func MetricsFrom(reg *obs.Registry) Metrics {
+	if reg == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		TokensSigned:    reg.Counter("ring.tokens_signed"),
+		TokensVerified:  reg.Counter("ring.tokens_verified"),
+		VerifyCacheHits: reg.Counter("ring.verify_cache_hits"),
+		Rotation:        reg.Histogram("ring.rotation"),
+		Delivered:       reg.Counter("ring.delivered"),
+		Originated:      reg.Counter("ring.originated"),
+		Retransmissions: reg.Counter("ring.retransmissions"),
+		TokenResends:    reg.Counter("ring.token_resends"),
+		Rejects:         reg.Counter("ring.rejects"),
+	}
+}

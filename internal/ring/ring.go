@@ -143,6 +143,9 @@ type Config struct {
 	IdleDelay time.Duration
 	// Now is the clock; nil means time.Now (injected in tests).
 	Now func() time.Time
+	// Metrics are optional observability hooks; the zero value disables
+	// them all at no cost to the hot path.
+	Metrics Metrics
 }
 
 // Ring is one processor's participation in one ring configuration.
@@ -171,7 +174,9 @@ type Ring struct {
 	lastSentVis  uint64
 	lastAccepted [sec.DigestSize]byte // digest of last accepted token (chain check)
 	aruWindow    []uint64             // arus of the last n+1 accepted tokens
+	lastHoldAt   time.Time            // this processor's previous token hold
 	stats        Stats
+	m            Metrics
 	stopped      bool
 }
 
@@ -220,6 +225,7 @@ func New(cfg Config) (*Ring, error) {
 		obs:        obs,
 		now:        cfg.Now,
 		level:      cfg.Suite.SecurityLevel(),
+		m:          cfg.Metrics,
 		vcache:     newVerifyCache(),
 		submitN:    make(chan struct{}, 1),
 		msgs:       make(map[uint64]*wire.Regular),
@@ -292,6 +298,7 @@ func (r *Ring) HandleToken(raw []byte) {
 		// Undecodable token: corruption in transit or malformed from a
 		// faulty sender. Sender unknown, so no attribution.
 		r.stats.TokenRejects++
+		r.m.Rejects.Inc()
 		return
 	}
 	if tok.Ring != r.cfg.Ring {
@@ -302,6 +309,7 @@ func (r *Ring) HandleToken(raw []byte) {
 		// token is just noise; suspecting non-members would let forgers
 		// block legitimate future joins.
 		r.stats.TokenRejects++
+		r.m.Rejects.Inc()
 		return
 	}
 	if tok.Visit <= r.visit {
@@ -325,11 +333,13 @@ func (r *Ring) HandleToken(raw []byte) {
 	// path above — or retransmitted — costs exactly one RSA operation.
 	if !r.verifyOnce(tok) {
 		r.stats.TokenRejects++
+		r.m.Rejects.Inc()
 		return
 	}
 	if err := tok.WellFormed(); err != nil {
 		// The sender provably signed a malformed token: attributable.
 		r.stats.TokenRejects++
+		r.m.Rejects.Inc()
 		r.obs.TokenInvalid(tok.Sender, "malformed token: "+err.Error())
 		return
 	}
@@ -341,6 +351,7 @@ func (r *Ring) HandleToken(raw []byte) {
 	if r.level >= sec.LevelSignatures {
 		if prevDigest, ok := r.tokensSeen[tok.Visit-1]; ok && tok.PrevTokenDigest != prevDigest {
 			r.stats.TokenRejects++
+		r.m.Rejects.Inc()
 			r.obs.MutantToken(tok.Sender, tok.Visit)
 			return
 		}
@@ -360,9 +371,11 @@ func (r *Ring) verifyOnce(tok *wire.Token) bool {
 	}
 	k := tokenVerifyKey(tok)
 	if v, ok := r.vcache.lookup(k); ok {
+		r.m.VerifyCacheHits.Inc()
 		return v
 	}
 	v := r.cfg.Suite.VerifyToken(tok.Sender, tok.SignedPortion(), tok.Signature)
+	r.m.TokensVerified.Inc()
 	r.vcache.store(k, v)
 	return v
 }
@@ -407,11 +420,13 @@ func (r *Ring) PreverifyTokens(raws [][]byte) {
 		for i, v := range bv.VerifyTokenBatch(items) {
 			r.vcache.store(keys[i], v)
 		}
+		r.m.TokensVerified.Add(uint64(len(toks)))
 		return
 	}
 	for i, tok := range toks {
 		r.vcache.store(keys[i], r.cfg.Suite.VerifyToken(tok.Sender, tok.SignedPortion(), tok.Signature))
 	}
+	r.m.TokensVerified.Add(uint64(len(toks)))
 }
 
 // acceptToken records an accepted token and, if this processor is the
@@ -451,6 +466,15 @@ func (r *Ring) acceptToken(tok *wire.Token, raw []byte) {
 // originate new ones, update seq/aru/rtr, and pass the token on.
 func (r *Ring) holdToken(prev *wire.Token) {
 	r.stats.TokenHeld++
+	if r.m.Rotation != nil {
+		// Token rotation time: the interval between this processor's
+		// consecutive holds, i.e. one full traversal of the ring (§8).
+		t := r.now()
+		if !r.lastHoldAt.IsZero() {
+			r.m.Rotation.Observe(t.Sub(r.lastHoldAt))
+		}
+		r.lastHoldAt = t
+	}
 	if r.cfg.IdleDelay > 0 && len(prev.RtrList) == 0 &&
 		prev.Seq <= r.lastHeldSeq && r.QueuedSubmissions() == 0 {
 		// Idle pacing: the ring made no sequence progress over the whole
@@ -475,6 +499,7 @@ func (r *Ring) holdToken(prev *wire.Token) {
 		if m, ok := r.msgs[s]; ok {
 			r.cfg.Trans.Multicast(m.Marshal())
 			r.stats.Retransmissions++
+			r.m.Retransmissions.Inc()
 			rtg = append(rtg, wire.RtgEntry{Seq: s, Retransmitter: r.cfg.Self})
 		} else {
 			stillMissing = append(stillMissing, s)
@@ -498,6 +523,7 @@ func (r *Ring) holdToken(prev *wire.Token) {
 		r.msgs[seq] = m // originator retains its own message for retransmission
 		r.cfg.Trans.Multicast(raw)
 		r.stats.Originated++
+		r.m.Originated.Inc()
 	}
 	r.seq = seq
 	r.lastHeldSeq = seq
@@ -550,6 +576,7 @@ func (r *Ring) holdToken(prev *wire.Token) {
 		return
 	}
 	next.Signature = sig
+	r.m.TokensSigned.Inc()
 
 	raw := next.Marshal()
 	r.visit = next.Visit
@@ -644,6 +671,7 @@ func (r *Ring) HandleRegular(raw []byte) {
 	if r.level >= sec.LevelDigests {
 		if d, ok := r.digestBook[m.Seq]; ok && d != sec.Digest(raw) {
 			r.stats.DigestRejects++
+			r.m.Rejects.Inc()
 			r.obs.MutantMessage(m.Sender, m.Seq)
 			return
 		}
@@ -671,12 +699,14 @@ func (r *Ring) tryDeliver() {
 				// arrived: discard and await retransmission.
 				delete(r.msgs, m.Seq)
 				r.stats.DigestRejects++
+			r.m.Rejects.Inc()
 				r.obs.MutantMessage(m.Sender, m.Seq)
 				return
 			}
 		}
 		r.delivered++
 		r.stats.Delivered++
+		r.m.Delivered.Inc()
 		r.cfg.Deliver(m)
 	}
 }
@@ -803,6 +833,7 @@ func (r *Ring) Tick() {
 	}
 	r.cfg.Trans.Multicast(r.lastSentRaw)
 	r.stats.TokenResends++
+	r.m.TokenResends.Inc()
 	r.lastSentAt = r.now()
 }
 

@@ -3,6 +3,8 @@ package sec
 import (
 	"encoding/binary"
 	"io"
+	"sync"
+	"time"
 )
 
 // seededReader is a deterministic io.Reader over a splitmix64 stream. It is
@@ -43,4 +45,59 @@ func (r *seededReader) Read(p []byte) (int, error) {
 		r.off++
 	}
 	return n, nil
+}
+
+// SeededRand is a deterministic, concurrency-safe random source over the
+// same splitmix64 stream as NewSeededReader. The protocol layers use it for
+// backoff jitter instead of the global math/rand, so that retry schedules
+// are reproducible from the system seed and independent goroutines do not
+// contend on the global rand lock. A nil *SeededRand degrades to "no
+// jitter" (Int63n returns 0), keeping callers nil-safe.
+type SeededRand struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+// NewSeededRand returns a deterministic random source for the given seed.
+// Two sources with the same seed yield identical value sequences.
+func NewSeededRand(seed uint64) *SeededRand {
+	return &SeededRand{state: seed}
+}
+
+// Uint64 returns the next value of the splitmix64 stream.
+func (r *SeededRand) Uint64() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	r.mu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63n returns a value in [0, n). It returns 0 when n <= 0 or when the
+// source is nil, which callers use as "no jitter".
+func (r *SeededRand) Int63n(n int64) int64 {
+	if r == nil || n <= 0 {
+		return 0
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// JitteredBackoff computes one step of a capped, jittered exponential
+// backoff schedule: base<<exponent, capped at max, then halved plus a
+// random share of the other half drawn from rng. With a nil rng the
+// schedule degrades to the deterministic half-backoff. Both the retry
+// loops of the Replication Manager and the recovery Manager use this, fed
+// by per-processor seeded sources, so retry timing is reproducible from
+// the system seed.
+func JitteredBackoff(base time.Duration, exponent int, max time.Duration, rng *SeededRand) time.Duration {
+	b := base << uint(exponent)
+	if b > max || b <= 0 {
+		b = max
+	}
+	return b/2 + time.Duration(rng.Int63n(int64(b/2)+1))
 }

@@ -109,8 +109,13 @@ func TestByzantineMemberSigningMutantTokensExcluded(t *testing.T) {
 	c.stacks[0].stack.Submit([]byte("go"))
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
-		v := c.stacks[0].stack.View()
-		if len(v.Members) == 3 {
+		all := true
+		for i := 0; i < 3; i++ {
+			if len(c.stacks[i].stack.View().Members) != 3 {
+				all = false
+			}
+		}
+		if all {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)

@@ -1,0 +1,37 @@
+package smp
+
+import (
+	"immune/internal/obs"
+	"immune/internal/ring"
+)
+
+// Metrics are the protocol stack's optional observability hooks. The zero
+// value is fully disabled (nil obs handles are no-ops). Ring is passed
+// through to every ring incarnation the stack builds, so ring counters
+// accumulate across membership changes.
+type Metrics struct {
+	// Installs counts processor membership changes installed (§3.1).
+	Installs *obs.Counter
+	// Suspicions counts fault-detector suspicions raised against
+	// processors (liveness timeouts, attributable misbehavior,
+	// corroborated value faults).
+	Suspicions *obs.Counter
+	// Members gauges the size of the installed processor membership.
+	Members *obs.Gauge
+	// Ring instruments the token-ring hot path.
+	Ring ring.Metrics
+}
+
+// MetricsFrom registers the stack metric family in reg. A nil registry
+// yields the disabled zero value.
+func MetricsFrom(reg *obs.Registry) Metrics {
+	if reg == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		Installs:   reg.Counter("smp.installs"),
+		Suspicions: reg.Counter("smp.suspicions"),
+		Members:    reg.Gauge("smp.members"),
+		Ring:       ring.MetricsFrom(reg),
+	}
+}

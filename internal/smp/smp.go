@@ -58,6 +58,9 @@ type Config struct {
 	SuspectTimeout time.Duration
 	// PollInterval is the event-loop sleep when idle; 0 means 100µs.
 	PollInterval time.Duration
+	// Metrics are optional observability hooks; the zero value disables
+	// them.
+	Metrics Metrics
 }
 
 // Stack is one processor's Secure Multicast Protocols instance.
@@ -108,7 +111,11 @@ func New(cfg Config) (*Stack, error) {
 	s.det = detector.New(detector.Config{
 		Self:           cfg.Self,
 		SuspectTimeout: cfg.SuspectTimeout,
+		OnSuspect: func(ids.ProcessorID, detector.Reason) {
+			cfg.Metrics.Suspicions.Inc()
+		},
 	})
+	cfg.Metrics.Members.Set(int64(len(cfg.Members)))
 
 	mem, err := membership.New(membership.Config{
 		Self:      cfg.Self,
@@ -144,6 +151,7 @@ func (s *Stack) buildRing(inst membership.Install, carryover [][]byte) (*ring.Ri
 		Suite:        s.cfg.Suite,
 		Trans:        s.cfg.Endpoint,
 		Obs:          s.det,
+		Metrics:      s.cfg.Metrics.Ring,
 		MaxPerVisit:  s.cfg.MaxPerVisit,
 		TokenTimeout: s.cfg.TokenTimeout,
 		IdleDelay:    s.cfg.IdleDelay,
@@ -258,6 +266,8 @@ func (s *Stack) applyInstalls() {
 	for len(s.pending) > 0 {
 		inst := s.pending[0]
 		s.pending = s.pending[1:]
+		s.cfg.Metrics.Installs.Inc()
+		s.cfg.Metrics.Members.Set(int64(len(inst.Members)))
 
 		var carryover [][]byte
 		s.mu.Lock()

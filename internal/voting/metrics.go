@@ -1,0 +1,36 @@
+package voting
+
+import "immune/internal/obs"
+
+// Metrics are the voter's optional observability hooks. The zero value is
+// fully disabled (nil obs handles are no-ops).
+type Metrics struct {
+	// VotesCast counts distinct copies that entered a vote tally.
+	VotesCast *obs.Counter
+	// Decided counts operations that reached a majority.
+	Decided *obs.Counter
+	// Duplicates counts suppressed duplicate copies (paper §5.1).
+	Duplicates *obs.Counter
+	// ValueFaults counts attributable value-fault detections (§6.2):
+	// deviant copies at decision time, late deviants, and mutants.
+	ValueFaults *obs.Counter
+	// MajorityLatency observes first-copy-to-majority time per decided
+	// operation — the paper's voting overhead (§8, Table 5).
+	MajorityLatency *obs.Histogram
+}
+
+// MetricsFrom registers the voter metric family in reg under the given
+// prefix ("voting.inv" for V_I, "voting.resp" for V_R). A nil registry
+// yields the disabled zero value.
+func MetricsFrom(reg *obs.Registry, prefix string) Metrics {
+	if reg == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		VotesCast:       reg.Counter(prefix + ".votes_cast"),
+		Decided:         reg.Counter(prefix + ".decided"),
+		Duplicates:      reg.Counter(prefix + ".duplicates"),
+		ValueFaults:     reg.Counter(prefix + ".value_faults"),
+		MajorityLatency: reg.Histogram(prefix + ".majority_latency"),
+	}
+}

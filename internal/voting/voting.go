@@ -15,6 +15,7 @@ package voting
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"immune/internal/ids"
 	"immune/internal/sec"
@@ -68,6 +69,7 @@ type entry struct {
 	tallies []tally
 	decided bool
 	winner  [sec.DigestSize]byte
+	firstAt time.Time // first copy's arrival (set only when metrics are on)
 
 	copiesBuf  [4]copyRec
 	talliesBuf [2]tally
@@ -115,6 +117,9 @@ type Voter struct {
 	decided  map[ids.OperationID][sec.DigestSize]byte // op -> winning digest
 	loOp     map[ids.ObjectGroupID]uint64             // GC watermark per client group
 	capacity int
+
+	m   Metrics
+	now func() time.Time
 }
 
 // NewVoter creates a voter. degree must return the sender group's current
@@ -126,8 +131,15 @@ func NewVoter(degree func(ids.ObjectGroupID) int) *Voter {
 		decided:  make(map[ids.OperationID][sec.DigestSize]byte),
 		loOp:     make(map[ids.ObjectGroupID]uint64),
 		capacity: 4096,
+		now:      time.Now,
 	}
 }
+
+// SetMetrics installs observability hooks. The zero value disables them.
+func (v *Voter) SetMetrics(m Metrics) { v.m = m }
+
+// SetClock overrides the voter's time source (tests only).
+func (v *Voter) SetClock(now func() time.Time) { v.now = now }
 
 // Pending returns the number of undecided operations being voted on.
 func (v *Voter) Pending() int { return len(v.ops) }
@@ -147,7 +159,9 @@ func (v *Voter) OfferDigest(op ids.OperationID, sender ids.ReplicaID, payload []
 		// Post-decision copy: discarded per §6.1, but a copy deviating
 		// from the decided value is still attributable evidence of a
 		// value fault (§6.2).
+		v.m.Duplicates.Inc()
 		if d != winner {
+			v.m.ValueFaults.Inc()
 			dev := sender
 			return Outcome{Duplicate: true, Deviant: &dev}
 		}
@@ -156,19 +170,25 @@ func (v *Voter) OfferDigest(op ids.OperationID, sender ids.ReplicaID, payload []
 	e := v.ops[op]
 	if e == nil {
 		e = newEntry()
+		if v.m.MajorityLatency != nil {
+			e.firstAt = v.now()
+		}
 		v.ops[op] = e
 	}
 	if prev, ok := e.copyOf(sender); ok {
+		v.m.Duplicates.Inc()
 		if prev == d {
 			return Outcome{Duplicate: true}
 		}
 		// The same replica sent two different values for one operation:
 		// unambiguously faulty (mutant invocation/response). Do not let
 		// the second value influence the vote.
+		v.m.ValueFaults.Inc()
 		dev := sender
 		return Outcome{Duplicate: true, Deviant: &dev}
 	}
 	e.copies = append(e.copies, copyRec{sender: sender, digest: d})
+	v.m.VotesCast.Inc()
 	t := e.tallyOf(d)
 	if t == nil {
 		e.tallies = append(e.tallies, tally{
@@ -197,6 +217,10 @@ func (v *Voter) OfferDigest(op ids.OperationID, sender ids.ReplicaID, payload []
 	e.decided = true
 	e.winner = d
 	v.decided[op] = d
+	v.m.Decided.Inc()
+	if v.m.MajorityLatency != nil && !e.firstAt.IsZero() {
+		v.m.MajorityLatency.Observe(v.now().Sub(e.firstAt))
+	}
 	out := Outcome{Decided: true, Payload: t.payload}
 	for i := range e.copies {
 		if e.copies[i].digest != d {
@@ -209,6 +233,7 @@ func (v *Voter) OfferDigest(op ids.OperationID, sender ids.ReplicaID, payload []
 		}
 		return out.Deviants[i].Processor < out.Deviants[j].Processor
 	})
+	v.m.ValueFaults.Add(uint64(len(out.Deviants)))
 	delete(v.ops, op)
 	v.gc(op)
 	return out
