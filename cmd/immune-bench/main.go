@@ -53,8 +53,21 @@ func main() {
 		"write a machine-readable per-invocation cost report (cases 1-4) to this path instead of the interval sweep")
 	withMetrics := flag.Bool("metrics", false,
 		"JSON mode only: include each replicated case's metric snapshot (per-layer counters and trace stage breakdowns) in the report and fail if a required protocol counter stayed zero")
+	saturate := flag.Duration("saturate", 0,
+		"run the overload smoke instead: drive unpaced one-way load for this duration against tight queue bounds and fail on any backpressure invariant violation")
+	memCeiling := flag.Int("memceiling", 0,
+		"saturate mode only: fail if peak heap exceeds this many MB (0 disables)")
 	flag.Parse()
 
+	if *saturate > 0 {
+		if err := runSaturate(*saturate, *payload, *memCeiling); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *memCeiling > 0 {
+		log.Fatal("-memceiling requires -saturate DURATION")
+	}
 	if *jsonPath != "" {
 		if err := runJSON(*jsonPath, *payload, *workFactor, *withMetrics); err != nil {
 			log.Fatal(err)

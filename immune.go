@@ -177,6 +177,27 @@ type Config struct {
 	// signature cost milliseconds; ~100 restores the 1999 ratio of
 	// crypto to protocol cost. Zero means 1 (modern hardware).
 	CryptoWorkFactor int
+	// MaxSubmitQueue caps each processor's multicast submit queue; past
+	// it submissions fail fast with ErrOverloaded instead of growing
+	// memory without bound. Zero means a default of 4096; negative
+	// unbounded.
+	MaxSubmitQueue int
+	// MaxUnstable caps how far a processor's originations may run ahead
+	// of the stable (everywhere-received) sequence, bounding the
+	// retransmission buffer. Zero means a default of 1024; negative
+	// unbounded.
+	MaxUnstable int
+	// MaxInFlight caps concurrent two-way invocations per client
+	// replica; past it Invoke fails fast with ErrOverloaded. Zero means
+	// a default of 4096; negative unbounded.
+	MaxInFlight int
+	// MaxBacklog caps the voted invocations buffered for a replica that
+	// is still joining; the oldest entries are shed first. Zero means a
+	// default of 1024; negative unbounded.
+	MaxBacklog int
+	// BacklogTTL expires buffered invocations by age. Zero means 30s;
+	// negative disables expiry.
+	BacklogTTL time.Duration
 	// OnMembershipChange observes processor membership installs.
 	OnMembershipChange func(self ProcessorID, inst MembershipInstall)
 	// DisableMetrics turns the observability layer off. By default every
@@ -209,6 +230,11 @@ func New(cfg Config) (*System, error) {
 		IdleDelay:          cfg.IdleDelay,
 		PollInterval:       cfg.PollInterval,
 		CryptoWorkFactor:   cfg.CryptoWorkFactor,
+		MaxSubmitQueue:     cfg.MaxSubmitQueue,
+		MaxUnstable:        cfg.MaxUnstable,
+		MaxInFlight:        cfg.MaxInFlight,
+		MaxBacklog:         cfg.MaxBacklog,
+		BacklogTTL:         cfg.BacklogTTL,
 		OnMembershipChange: cfg.OnMembershipChange,
 		DisableMetrics:     cfg.DisableMetrics,
 	})
@@ -337,6 +363,12 @@ var (
 	// ⌈(r+1)/2⌉ of its high-water degree — a voted reply cannot be
 	// formed until recovery restores it (§3.1).
 	ErrGroupDegraded = replication.ErrGroupDegraded
+	// ErrOverloaded: an admission bound shed the invocation before any
+	// copy entered the total order — the client replica's in-flight cap
+	// (Config.MaxInFlight) or the processor's bounded submit queue
+	// (Config.MaxSubmitQueue). Retrying after backing off is safe and is
+	// the intended reaction.
+	ErrOverloaded = replication.ErrOverloaded
 )
 
 // MaxFaultyProcessors returns the fault budget for an n-processor system
@@ -363,6 +395,10 @@ func (p *Processor) Suspects() []ProcessorID { return p.inner.Suspects() }
 
 // RingStats returns the processor's token-ring counters.
 func (p *Processor) RingStats() RingStats { return p.inner.RingStats() }
+
+// QueuedSubmissions returns the depth of the processor's multicast
+// submit queue (pending originations), bounded by Config.MaxSubmitQueue.
+func (p *Processor) QueuedSubmissions() int { return p.inner.QueuedSubmissions() }
 
 // ManagerStats returns the processor's Replication Manager counters.
 func (p *Processor) ManagerStats() ManagerStats { return p.inner.ManagerStats() }

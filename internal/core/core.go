@@ -71,6 +71,25 @@ type Config struct {
 	// CryptoWorkFactor repeats signing/verification to emulate
 	// paper-era (167 MHz) hardware; 0 means 1 (modern speed).
 	CryptoWorkFactor int
+	// MaxSubmitQueue caps each processor's ring submit queue; past it
+	// Submit fails fast with ErrOverloaded. 0 means ring.DefaultMaxQueue;
+	// negative unbounded.
+	MaxSubmitQueue int
+	// MaxUnstable caps how far a processor's originations may run ahead
+	// of the stable (all-received) sequence, bounding the retransmission
+	// buffer. 0 means ring.DefaultMaxUnstable; negative unbounded.
+	MaxUnstable int
+	// MaxInFlight caps concurrent two-way invocations per local client
+	// replica. 0 means replication.DefaultMaxInFlight; negative
+	// unbounded.
+	MaxInFlight int
+	// MaxBacklog caps the voted-invocation backlog a not-yet-active
+	// replica may accumulate. 0 means replication.DefaultMaxBacklog;
+	// negative unbounded.
+	MaxBacklog int
+	// BacklogTTL expires backlog entries by age. 0 means
+	// replication.DefaultBacklogTTL; negative disables expiry.
+	BacklogTTL time.Duration
 	// OnMembershipChange, if set, observes processor membership installs
 	// (invoked once per processor per install).
 	OnMembershipChange func(self ids.ProcessorID, inst membership.Install)
@@ -102,6 +121,7 @@ type System struct {
 	rec    *recovery.Manager
 	reg    *obs.Registry // nil when DisableMetrics
 	tracer *obs.Tracer   // nil when DisableMetrics
+	actCh  chan struct{} // edge-trigger: replica activity (WaitGroupActive)
 
 	mu      sync.Mutex
 	started bool
@@ -164,6 +184,7 @@ func NewSystem(cfg Config) (*System, error) {
 		specs:  make(map[ids.ObjectGroupID]*groupSpec),
 		reg:    reg,
 		tracer: tracer,
+		actCh:  make(chan struct{}, 1),
 	}
 
 	members := make([]ids.ProcessorID, cfg.Processors)
@@ -203,6 +224,8 @@ func NewSystem(cfg Config) (*System, error) {
 			Suite:          suite,
 			Endpoint:       ep,
 			MaxPerVisit:    cfg.MaxPerVisit,
+			MaxSubmitQueue: cfg.MaxSubmitQueue,
+			MaxUnstable:    cfg.MaxUnstable,
 			IdleDelay:      cfg.IdleDelay,
 			PollInterval:   cfg.PollInterval,
 			SuspectTimeout: cfg.SuspectTimeout,
@@ -229,6 +252,10 @@ func NewSystem(cfg Config) (*System, error) {
 			CallTimeout: cfg.CallTimeout,
 			Retries:     cfg.InvokeRetries,
 			Jitter:      sec.NewSeededRand(cfg.Seed ^ (uint64(p)*0xbf58476d1ce4e5b9 + 3)),
+			MaxInFlight: cfg.MaxInFlight,
+			MaxBacklog:  cfg.MaxBacklog,
+			BacklogTTL:  cfg.BacklogTTL,
+			OnChange:    s.notifyActivity,
 			Metrics:     replication.MetricsFrom(reg),
 			Tracer:      tracer,
 			InvVoting:   voting.MetricsFrom(reg, "voting.inv"),
@@ -500,17 +527,48 @@ func (s *System) HostGroup(g ids.ObjectGroupID, objectKey string, degree int,
 // recovery event history.
 func (s *System) Health() recovery.Health { return s.rec.Health() }
 
+// notifyActivity is every Replication Manager's OnChange hook: a
+// non-blocking send onto the edge-trigger channel WaitGroupActive parks
+// on. Called with a manager lock held, so it must never block.
+func (s *System) notifyActivity() {
+	select {
+	case s.actCh <- struct{}{}:
+	default:
+	}
+}
+
 // WaitGroupActive blocks until the group has at least want active
-// replicas (in the authoritative directory) or the timeout expires.
+// replicas (in the authoritative directory) or the timeout expires. It
+// parks on the managers' activity signal rather than polling; a
+// fallback re-check (100ms) guards against a signal consumed by a
+// concurrent waiter.
 func (s *System) WaitGroupActive(g ids.ObjectGroupID, want int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
 		if ref := s.reference(); ref != nil && ref.mgr.ActiveCount(g) >= want {
 			return nil
 		}
-		time.Sleep(time.Millisecond)
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return fmt.Errorf("core: group %s below %d active replicas after %v", g, want, timeout)
+		}
+		if wait > 100*time.Millisecond {
+			wait = 100 * time.Millisecond
+		}
+		timer.Reset(wait)
+		select {
+		case <-s.actCh:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-timer.C:
+		}
 	}
-	return fmt.Errorf("core: group %s below %d active replicas after %v", g, want, timeout)
 }
 
 // ID returns the processor's identifier.
@@ -524,6 +582,10 @@ func (p *Processor) Suspects() []ids.ProcessorID { return p.stack.Suspects() }
 
 // RingStats returns the processor's current ring counters.
 func (p *Processor) RingStats() ring.Stats { return p.stack.RingStats() }
+
+// QueuedSubmissions returns the depth of the processor's ring submit
+// queue (pending originations). Bounded by Config.MaxSubmitQueue.
+func (p *Processor) QueuedSubmissions() int { return p.stack.QueuedSubmissions() }
 
 // ManagerStats returns the processor's Replication Manager counters.
 func (p *Processor) ManagerStats() replication.Stats { return p.mgr.Stats() }

@@ -27,13 +27,14 @@ func newMailbox() *mailbox {
 	return m
 }
 
-// put enqueues a frame. Frames put after close are silently discarded,
-// which absorbs late timer-driven deliveries during shutdown.
-func (m *mailbox) put(f Frame) {
+// put enqueues a frame and reports whether it was accepted. Frames put
+// after close are discarded (returning false), which absorbs late
+// timer-driven deliveries during shutdown.
+func (m *mailbox) put(f Frame) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		return
+		return false
 	}
 	m.queue = append(m.queue, f)
 	m.cond.Signal()
@@ -41,6 +42,7 @@ func (m *mailbox) put(f Frame) {
 	case m.notify <- struct{}{}:
 	default: // already signaled; one pending notification suffices
 	}
+	return true
 }
 
 // get blocks until a frame is available or the mailbox is closed. The

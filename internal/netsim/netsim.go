@@ -296,17 +296,30 @@ func (n *Network) deliverOne(f Frame, ep *Endpoint) {
 			frame.Payload = append([]byte(nil), f.Payload...)
 		}
 		if delay == 0 {
-			ep.box.put(frame)
-			n.countDelivered(1)
+			n.deposit(frame, ep)
 			continue
 		}
 		n.timers.Add(1)
 		time.AfterFunc(delay, func() {
 			defer n.timers.Done()
-			ep.box.put(frame)
-			n.countDelivered(1)
+			n.deposit(frame, ep)
 		})
 	}
+}
+
+// deposit places one frame copy in the receiver's mailbox, re-checking
+// the network state at delivery time: a frame delayed in flight must not
+// land (nor count as delivered) after the receiver detached or the
+// network shut down — the timer outlives both.
+func (n *Network) deposit(f Frame, ep *Endpoint) {
+	n.mu.Lock()
+	gone := n.closed || n.detached[ep.id]
+	n.mu.Unlock()
+	if gone || !ep.box.put(f) {
+		n.countDropped(1)
+		return
+	}
+	n.countDelivered(1)
 }
 
 // corrupt flips a random byte of the payload in place (callers pass a

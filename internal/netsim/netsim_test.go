@@ -393,3 +393,40 @@ func TestBroadcastWithDetachedReceiver(t *testing.T) {
 		t.Fatal("detached receiver got multicast")
 	}
 }
+
+func TestDelayedFrameNotDeliveredAfterDetach(t *testing.T) {
+	n := New(Config{Latency: 10 * time.Millisecond})
+	defer n.Close()
+	a := mustAttach(t, n, 1)
+	b := mustAttach(t, n, 2)
+
+	a.Send(2, []byte("in flight"))
+	n.Detach(2) // receiver drops off while the frame is still in flight
+	time.Sleep(30 * time.Millisecond)
+	if b.Pending() != 0 {
+		t.Fatalf("detached receiver got %d delayed frames", b.Pending())
+	}
+	s := n.Stats()
+	if s.Delivered != 0 {
+		t.Fatalf("delivered = %d, want 0 (frame was in flight at detach)", s.Delivered)
+	}
+	if s.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", s.Dropped)
+	}
+}
+
+func TestDelayedFrameNotCountedAfterClose(t *testing.T) {
+	n := New(Config{Latency: 10 * time.Millisecond})
+	a := mustAttach(t, n, 1)
+	mustAttach(t, n, 2)
+
+	a.Send(2, []byte("in flight"))
+	n.Close() // waits for the in-flight timer; the late frame must drop
+	s := n.Stats()
+	if s.Delivered != 0 {
+		t.Fatalf("delivered = %d, want 0 (network closed before delivery)", s.Delivered)
+	}
+	if s.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", s.Dropped)
+	}
+}

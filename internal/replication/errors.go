@@ -1,6 +1,10 @@
 package replication
 
-import "errors"
+import (
+	"errors"
+
+	"immune/internal/ring"
+)
 
 // Sentinel errors for the client invocation path. They are wrapped with
 // call context by Handle.Invoke/InvokeDeadline; match with errors.Is.
@@ -19,6 +23,14 @@ var (
 	// ⌈(r+1)/2⌉ of its configured degree (§3.1 hard alarm); a majority of
 	// the original degree can no longer form.
 	ErrGroupDegraded = errors.New("group degraded below majority")
+	// ErrOverloaded: an admission bound shed the invocation — the
+	// client group's in-flight cap, or the ring's bounded submit queue
+	// further down the stack. The call never entered the total order
+	// (no copy was multicast by this replica), so retrying after
+	// backing off is safe and is the intended reaction. The sentinel is
+	// the ring's, so errors.Is matches wherever in the stack the
+	// overload was detected.
+	ErrOverloaded = ring.ErrOverloaded
 )
 
 // minCorrect returns ⌈(r+1)/2⌉, the minimum correct replicas required in

@@ -13,6 +13,7 @@
 package replication
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -48,6 +49,8 @@ type Stats struct {
 	DuplicatesDiscarded uint64 // copies suppressed after decisions
 	ValueFaults         uint64 // deviant copies observed locally
 	StateTransfers      uint64 // snapshots installed on joining replicas
+	OverloadRejects     uint64 // invocations shed by the in-flight cap
+	BacklogShed         uint64 // backlog entries shed (cap or TTL)
 }
 
 // Config parameterizes a Manager.
@@ -70,6 +73,25 @@ type Config struct {
 	// math/rand would defeat the netsim substrate's determinism); nil
 	// means no jitter (fully deterministic half-backoff).
 	Jitter *sec.SeededRand
+	// MaxInFlight caps concurrent two-way invocations per local client
+	// replica; past it Invoke fails fast with ErrOverloaded instead of
+	// piling waiters onto a saturated stack. 0 means DefaultMaxInFlight;
+	// negative unbounded.
+	MaxInFlight int
+	// MaxBacklog caps the per-replica backlog of voted invocations held
+	// for a not-yet-active local replica; oldest entries are shed first.
+	// 0 means DefaultMaxBacklog; negative unbounded.
+	MaxBacklog int
+	// BacklogTTL expires backlog entries by age — a group whose
+	// activation never completes must not retain ordered traffic
+	// forever. 0 means DefaultBacklogTTL; negative disables expiry.
+	BacklogTTL time.Duration
+	// OnChange, when non-nil, fires after replica activation, directory
+	// resync, or a membership install — the wake-up for waiters polling
+	// group health (System.WaitGroupActive). Called with the manager
+	// lock held: it must be fast, must not block, and must not call
+	// back into the Manager.
+	OnChange func()
 	// Metrics are optional observability hooks; the zero value disables
 	// them.
 	Metrics Metrics
@@ -90,6 +112,10 @@ type Manager struct {
 	retries      int
 	retryBackoff time.Duration
 	jitter       *sec.SeededRand
+	maxInFlight  int
+	maxBacklog   int
+	backlogTTL   time.Duration
+	onChange     func()
 	met          Metrics
 	tracer       *obs.Tracer
 	invVM        voting.Metrics
@@ -98,7 +124,7 @@ type Manager struct {
 	mu        sync.Mutex
 	dir       *group.Directory
 	hosted    map[ids.ObjectGroupID]*replicaState
-	waiters   map[ids.OperationID]chan invokeResult
+	waiters   map[ids.OperationID]*waiter
 	invVoter  *voting.Voter
 	respVoter *voting.Voter
 	invDest   map[ids.OperationID]ids.ObjectGroupID // pending invocation -> target group
@@ -122,6 +148,15 @@ type invokeResult struct {
 	err     error
 }
 
+// waiter is one registered two-way call: its result channel plus the
+// client replica it counts against, so the in-flight slot is released
+// exactly when the waiter is removed — even if the replica has left the
+// hosted map by then.
+type waiter struct {
+	ch chan invokeResult
+	st *replicaState
+}
+
 // syncBufLimit bounds the delivery buffer of a resyncing manager; past it
 // the manager abandons the resync and stays unsynced (it will refuse to
 // host replicas, which keeps the rest of the system consistent).
@@ -131,6 +166,17 @@ const syncBufLimit = 65536
 // can lag behind its peers (whose copies alone may decide the vote); the
 // cache bridges that window.
 const respCacheLimit = 8192
+
+// DefaultMaxInFlight is the default per-client-replica cap on concurrent
+// two-way invocations awaiting a voted response.
+const DefaultMaxInFlight = 4096
+
+// DefaultMaxBacklog is the default cap on the voted-invocation backlog a
+// not-yet-active local replica may accumulate.
+const DefaultMaxBacklog = 1024
+
+// DefaultBacklogTTL is the default age bound on backlog entries.
+const DefaultBacklogTTL = 30 * time.Second
 
 // memberInfo is the globally consistent view of one replica's role and
 // activation status. Activation is a deterministic function of the totally
@@ -161,17 +207,22 @@ type replicaState struct {
 	adapter *orb.Adapter
 	servant orb.Servant
 	active  bool
+	// activated is closed exactly once, when the replica first
+	// activates; Handle.WaitActive blocks on it instead of polling.
+	activated chan struct{}
 
 	// State transfer on join (§3.1 replica reallocation).
 	needState bool
 	backlog   []backlogEntry
 
-	opSeq uint64 // client-role operation counter
+	opSeq    uint64 // client-role operation counter
+	inflight int    // two-way invocations awaiting a voted response
 }
 
 type backlogEntry struct {
 	op      ids.OperationID
 	payload []byte
+	at      time.Time // delivery time, for TTL expiry
 }
 
 // NewManager creates a Replication Manager bound to a protocol stack.
@@ -185,6 +236,15 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 10 * time.Millisecond
 	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxBacklog == 0 {
+		cfg.MaxBacklog = DefaultMaxBacklog
+	}
+	if cfg.BacklogTTL == 0 {
+		cfg.BacklogTTL = DefaultBacklogTTL
+	}
 	m := &Manager{
 		stack:        cfg.Stack,
 		self:         cfg.Stack.Self(),
@@ -192,13 +252,17 @@ func NewManager(cfg Config) (*Manager, error) {
 		retries:      cfg.Retries,
 		retryBackoff: cfg.RetryBackoff,
 		jitter:       cfg.Jitter,
+		maxInFlight:  cfg.MaxInFlight,
+		maxBacklog:   cfg.MaxBacklog,
+		backlogTTL:   cfg.BacklogTTL,
+		onChange:     cfg.OnChange,
 		met:          cfg.Metrics,
 		tracer:       cfg.Tracer,
 		invVM:        cfg.InvVoting,
 		respVM:       cfg.RespVoting,
 		dir:          group.NewDirectory(),
 		hosted:       make(map[ids.ObjectGroupID]*replicaState),
-		waiters:      make(map[ids.OperationID]chan invokeResult),
+		waiters:      make(map[ids.OperationID]*waiter),
 		invDest:      make(map[ids.OperationID]ids.ObjectGroupID),
 		joinSeq:      make(map[ids.ObjectGroupID]uint64),
 		members:      make(map[ids.ReplicaID]*memberInfo),
@@ -232,6 +296,93 @@ func (m *Manager) Stats() Stats {
 	return m.stats
 }
 
+// notifyChangeLocked fires the OnChange hook after activation, resync, or
+// membership changes. Caller holds m.mu; the hook must not block.
+func (m *Manager) notifyChangeLocked() {
+	if m.onChange != nil {
+		m.onChange()
+	}
+}
+
+// activateLocked marks a local replica active, wakes WaitActive blockers,
+// and replays any voted invocations backlogged while it was joining.
+// Caller holds m.mu.
+func (m *Manager) activateLocked(st *replicaState) {
+	if st.active {
+		return
+	}
+	st.active = true
+	st.needState = false
+	select {
+	case <-st.activated:
+	default:
+		close(st.activated)
+	}
+	if st.servant != nil {
+		for _, b := range m.takeBacklogLocked(st) {
+			m.dispatchInvocation(st, b.op, b.payload)
+		}
+	}
+	m.notifyChangeLocked()
+}
+
+// dropWaiterLocked removes a two-way waiter (decision, timeout, failure)
+// and releases its in-flight slot. Caller holds m.mu.
+func (m *Manager) dropWaiterLocked(op ids.OperationID) (chan invokeResult, bool) {
+	w, ok := m.waiters[op]
+	if !ok {
+		return nil, false
+	}
+	delete(m.waiters, op)
+	if w.st.inflight > 0 {
+		w.st.inflight--
+		m.met.InFlight.Add(-1)
+	}
+	return w.ch, true
+}
+
+// pushBacklogLocked queues a voted invocation for a not-yet-active local
+// replica: entries older than the TTL are expired and, past the cap, the
+// oldest are shed first — a group that never activates must not retain
+// ordered traffic forever. Caller holds m.mu.
+func (m *Manager) pushBacklogLocked(st *replicaState, op ids.OperationID, payload []byte) {
+	now := time.Now()
+	bl := st.backlog
+	if m.backlogTTL > 0 {
+		cut := 0
+		for cut < len(bl) && now.Sub(bl[cut].at) > m.backlogTTL {
+			cut++
+		}
+		if cut > 0 {
+			bl = append([]backlogEntry(nil), bl[cut:]...)
+			m.shedBacklog(uint64(cut))
+		}
+	}
+	bl = append(bl, backlogEntry{op: op, payload: payload, at: now})
+	if m.maxBacklog > 0 && len(bl) > m.maxBacklog {
+		over := len(bl) - m.maxBacklog
+		bl = append([]backlogEntry(nil), bl[over:]...)
+		m.shedBacklog(uint64(over))
+	}
+	m.met.Backlog.Add(int64(len(bl) - len(st.backlog)))
+	st.backlog = bl
+}
+
+func (m *Manager) shedBacklog(n uint64) {
+	m.stats.BacklogShed += n
+	m.met.BacklogShed.Add(n)
+}
+
+// takeBacklogLocked empties a replica's backlog (activation replay or
+// teardown), keeping the aggregate depth gauge consistent. Caller holds
+// m.mu.
+func (m *Manager) takeBacklogLocked(st *replicaState) []backlogEntry {
+	bl := st.backlog
+	st.backlog = nil
+	m.met.Backlog.Add(-int64(len(bl)))
+	return bl
+}
+
 // Handle is the application-side handle on a locally hosted replica.
 type Handle struct {
 	m  *Manager
@@ -257,10 +408,11 @@ func (m *Manager) HostReplica(g ids.ObjectGroupID, key string, servant orb.Serva
 		return nil, fmt.Errorf("replication: already hosting a replica of %s", g)
 	}
 	st := &replicaState{
-		id:      ids.ReplicaID{Group: g, Processor: m.self},
-		key:     key,
-		adapter: orb.NewAdapter(),
-		servant: servant,
+		id:        ids.ReplicaID{Group: g, Processor: m.self},
+		key:       key,
+		adapter:   orb.NewAdapter(),
+		servant:   servant,
+		activated: make(chan struct{}),
 	}
 	if servant != nil {
 		if err := st.adapter.Register(key, servant); err != nil {
@@ -303,15 +455,22 @@ func (h *Handle) Active() bool {
 }
 
 // WaitActive blocks until the replica activates or the timeout expires.
+// It parks on the activation channel rather than polling, so a waiter
+// wakes the instant the join (or state transfer) completes.
 func (h *Handle) WaitActive(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if h.Active() {
-			return nil
-		}
-		time.Sleep(200 * time.Microsecond)
+	select {
+	case <-h.st.activated:
+		return nil
+	default:
 	}
-	return fmt.Errorf("replication: replica %s not active after %v", h.st.id, timeout)
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-h.st.activated:
+		return nil
+	case <-timer.C:
+		return fmt.Errorf("replication: replica %s not active after %v", h.st.id, timeout)
+	}
 }
 
 // Leave withdraws the replica from its object group: a Leave message is
@@ -410,6 +569,12 @@ func (h *Handle) InvokeDeadline(target ids.ObjectGroupID, iiopRequest []byte, de
 			}
 		}
 		if err := h.m.stack.Submit(raw); err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				// The re-send was shed by the bounded submit queue, but the
+				// original copy is already in the total order — keep waiting
+				// for the voted response rather than failing the call.
+				continue
+			}
 			return nil, h.m.timeoutError(op, target, deadline)
 		}
 		h.m.met.Retries.Inc()
@@ -423,7 +588,7 @@ func (h *Handle) InvokeDeadline(target ids.ObjectGroupID, iiopRequest []byte, de
 func (m *Manager) timeoutError(op ids.OperationID, target ids.ObjectGroupID, deadline time.Time) error {
 	m.tracer.Abort(op)
 	m.mu.Lock()
-	delete(m.waiters, op)
+	m.dropWaiterLocked(op)
 	size := m.dir.Size(target)
 	hw := m.degreeHW[target]
 	excluded := m.needSync
@@ -457,6 +622,16 @@ func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bo
 		m.mu.Unlock()
 		return ids.OperationID{}, nil, nil, fmt.Errorf("replication: replica %s: %w", h.st.id, ErrNotActive)
 	}
+	if twoway && m.maxInFlight > 0 && h.st.inflight >= m.maxInFlight {
+		// Admission control: past the in-flight cap the call is shed
+		// before any copy is multicast, so the caller can back off and
+		// retry without risking duplicate execution.
+		m.stats.OverloadRejects++
+		m.mu.Unlock()
+		m.met.OverloadRejects.Inc()
+		return ids.OperationID{}, nil, nil, fmt.Errorf("replication: replica %s: %d invocations in flight: %w",
+			h.st.id, m.maxInFlight, ErrOverloaded)
+	}
 	h.st.opSeq++
 	op := ids.OperationID{ClientGroup: h.st.id.Group, Seq: h.st.opSeq}
 	m.tracer.Mark(op, obs.StageIntercept)
@@ -469,7 +644,9 @@ func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bo
 			delete(m.respCache, op)
 			ch <- invokeResult{payload: cached}
 		} else {
-			m.waiters[op] = ch
+			m.waiters[op] = &waiter{ch: ch, st: h.st}
+			h.st.inflight++
+			m.met.InFlight.Add(1)
 		}
 	}
 	m.stats.InvocationsSent++
@@ -485,11 +662,15 @@ func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bo
 	}
 	raw := msg.Marshal()
 	if err := m.stack.Submit(raw); err != nil {
+		m.mu.Lock()
 		if twoway {
-			m.mu.Lock()
-			delete(m.waiters, op)
-			m.mu.Unlock()
+			m.dropWaiterLocked(op)
 		}
+		if errors.Is(err, ErrOverloaded) {
+			m.stats.OverloadRejects++
+			m.met.OverloadRejects.Inc()
+		}
+		m.mu.Unlock()
 		m.tracer.Abort(op)
 		return op, nil, nil, fmt.Errorf("replication: multicast invocation: %w", err)
 	}
@@ -573,7 +754,9 @@ func (m *Manager) handleJoin(msg *group.Message) {
 		// state to transfer; the replica activates at its join position.
 		mi.active = true
 		if localJoiner {
-			st.active = true
+			m.activateLocked(st)
+		} else {
+			m.notifyChangeLocked()
 		}
 		m.recheckLocked()
 		return
@@ -630,6 +813,7 @@ func (m *Manager) removeReplicaLocked(r ids.ReplicaID) {
 	delete(m.pending, r)
 	if st, ok := m.hosted[r.Group]; ok && r.Processor == m.self {
 		st.active = false
+		m.takeBacklogLocked(st)
 		delete(m.hosted, r.Group)
 	}
 	m.invVoter.DropSender(r)
@@ -651,8 +835,9 @@ func (m *Manager) removeReplicaLocked(r ids.ReplicaID) {
 				mi.active = true
 			}
 			if st, ok := m.hosted[joiner.Group]; ok && joiner.Processor == m.self {
-				st.active = true
-				st.needState = false
+				m.activateLocked(st)
+			} else {
+				m.notifyChangeLocked()
 			}
 		}
 	}
@@ -682,7 +867,7 @@ func (m *Manager) handleInvocation(msg *group.Message) {
 	m.met.InvocationsDecided.Inc()
 	m.tracer.Mark(msg.Op, obs.StageVoted)
 	if !st.active {
-		st.backlog = append(st.backlog, backlogEntry{op: msg.Op, payload: out.Payload})
+		m.pushBacklogLocked(st, msg.Op, out.Payload)
 		return
 	}
 	m.dispatchInvocation(st, msg.Op, out.Payload)
@@ -733,8 +918,7 @@ func (m *Manager) handleResponse(msg *group.Message) {
 // deliverResponseLocked hands a decided response to its waiter, or caches
 // it for a local client replica that has not asked yet. Caller holds m.mu.
 func (m *Manager) deliverResponseLocked(op ids.OperationID, payload []byte) {
-	if ch, ok := m.waiters[op]; ok {
-		delete(m.waiters, op)
+	if ch, ok := m.dropWaiterLocked(op); ok {
 		ch <- invokeResult{payload: payload}
 		m.tracer.Mark(op, obs.StageReplied)
 		return
@@ -825,20 +1009,16 @@ func (m *Manager) handleState(msg *group.Message) {
 	}
 	st, ok := m.hosted[joiner.Group]
 	if !ok || joiner.Processor != m.self {
+		m.notifyChangeLocked()
 		return
 	}
 	if err := st.servant.Restore(wait.pays[d]); err != nil {
 		return // unusable snapshot; replica stays inactive locally
 	}
-	st.active = true
-	st.needState = false
 	m.stats.StateTransfers++
 	m.met.StateTransfers.Inc()
-	backlog := st.backlog
-	st.backlog = nil
-	for _, b := range backlog {
-		m.dispatchInvocation(st, b.op, b.payload)
-	}
+	// activateLocked replays the backlog accumulated during the transfer.
+	m.activateLocked(st)
 }
 
 // OnProcessorMembershipChange applies a processor membership install
@@ -899,6 +1079,7 @@ func (m *Manager) OnMembershipInstall(installID uint64, members []ids.ProcessorI
 	if installID != 0 {
 		m.emitSyncLocked(installID)
 	}
+	m.notifyChangeLocked()
 }
 
 // resetLocked discards all group state after the local processor's
@@ -908,13 +1089,14 @@ func (m *Manager) OnMembershipInstall(installID uint64, members []ids.ProcessorI
 // restores a consistent view. Caller holds m.mu.
 func (m *Manager) resetLocked() {
 	err := fmt.Errorf("replication: processor %s excluded from membership: %w", m.self, ErrQuorumLost)
-	for op, ch := range m.waiters {
-		delete(m.waiters, op)
-		ch <- invokeResult{err: err}
+	for op := range m.waiters {
+		if ch, ok := m.dropWaiterLocked(op); ok {
+			ch <- invokeResult{err: err}
+		}
 	}
 	for _, st := range m.hosted {
 		st.active = false
-		st.backlog = nil
+		m.takeBacklogLocked(st)
 	}
 	m.hosted = make(map[ids.ObjectGroupID]*replicaState)
 	m.dir = group.NewDirectory()
@@ -932,6 +1114,7 @@ func (m *Manager) resetLocked() {
 	m.needSync = true
 	m.syncID = 0
 	m.syncBuf = nil
+	m.notifyChangeLocked()
 }
 
 // bufferOrSyncLocked handles one delivery while the manager awaits a
@@ -953,6 +1136,7 @@ func (m *Manager) bufferOrSyncLocked(msg *group.Message) {
 				m.applyLocked(b)
 			}
 		}
+		m.notifyChangeLocked()
 		return
 	}
 	if m.syncID == 0 {
@@ -1135,7 +1319,7 @@ func (m *Manager) recheckLocked() {
 			continue
 		}
 		if !st.active {
-			st.backlog = append(st.backlog, backlogEntry{op: dec.Op, payload: dec.Payload})
+			m.pushBacklogLocked(st, dec.Op, dec.Payload)
 			continue
 		}
 		m.dispatchInvocation(st, dec.Op, dec.Payload)

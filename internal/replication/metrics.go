@@ -18,6 +18,17 @@ type Metrics struct {
 	Retries *obs.Counter
 	// StateTransfers counts snapshots installed on joining replicas.
 	StateTransfers *obs.Counter
+	// OverloadRejects counts invocations shed by admission control (the
+	// per-replica in-flight cap or the ring's bounded submit queue).
+	OverloadRejects *obs.Counter
+	// BacklogShed counts voted invocations dropped from inactive-replica
+	// backlogs by the cap or the TTL.
+	BacklogShed *obs.Counter
+	// Backlog gauges the aggregate backlog depth across hosted replicas
+	// (delta-updated, so managers sharing a registry sum correctly).
+	Backlog *obs.Gauge
+	// InFlight gauges the two-way invocations awaiting a voted response.
+	InFlight *obs.Gauge
 }
 
 // MetricsFrom registers the Replication Manager metric family in reg. A
@@ -35,5 +46,9 @@ func MetricsFrom(reg *obs.Registry) Metrics {
 		ValueFaults:        reg.Counter("rm.value_faults"),
 		Retries:            reg.Counter("rm.retries"),
 		StateTransfers:     reg.Counter("rm.state_transfers"),
+		OverloadRejects:    reg.Counter("rm.overload_rejects"),
+		BacklogShed:        reg.Counter("rm.backlog_shed"),
+		Backlog:            reg.Gauge("rm.backlog"),
+		InFlight:           reg.Gauge("rm.inflight"),
 	}
 }

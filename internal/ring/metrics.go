@@ -27,6 +27,16 @@ type Metrics struct {
 	TokenResends *obs.Counter
 	// Rejects counts discarded tokens and digest-mismatched messages.
 	Rejects *obs.Counter
+	// SendQueue gauges the submit queue depth (pending origination).
+	// Bounded by Config.MaxQueue; a plateau at that bound under
+	// saturating load is the backpressure working as designed.
+	SendQueue *obs.Gauge
+	// SubmitShed counts submissions rejected with ErrOverloaded by the
+	// bounded submit queue.
+	SubmitShed *obs.Counter
+	// Throttled counts token visits on which the aru window withheld
+	// origination while submissions were queued (flow control engaged).
+	Throttled *obs.Counter
 }
 
 // MetricsFrom registers the ring metric family in reg. A nil registry
@@ -46,5 +56,8 @@ func MetricsFrom(reg *obs.Registry) Metrics {
 		Retransmissions: reg.Counter("ring.retransmissions"),
 		TokenResends:    reg.Counter("ring.token_resends"),
 		Rejects:         reg.Counter("ring.rejects"),
+		SendQueue:       reg.Gauge("ring.send_queue"),
+		SubmitShed:      reg.Counter("ring.submit_shed"),
+		Throttled:       reg.Counter("ring.throttled"),
 	}
 }

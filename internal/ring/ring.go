@@ -18,6 +18,7 @@
 package ring
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -27,11 +28,28 @@ import (
 	"immune/internal/wire"
 )
 
+// ErrOverloaded is returned by Submit when the bounded submit queue is
+// full: the caller is producing faster than the token rotation can
+// originate, and must shed or retry. Upper layers (smp, replication, the
+// public Object API) wrap this sentinel; match with errors.Is.
+var ErrOverloaded = errors.New("overloaded: submit queue full")
+
 // DefaultMaxPerVisit is the number j of messages a token holder may
 // originate per visit. The paper's measurements use up to six multicast
 // messages per token visit (§8), amortizing one token signature over all
 // of them.
 const DefaultMaxPerVisit = 6
+
+// DefaultMaxQueue is the default bound on the submit queue (pending
+// origination). At six messages per visit this is several hundred full
+// token rotations of headroom — overload, not a burst.
+const DefaultMaxQueue = 4096
+
+// DefaultMaxUnstable is the default bound on how far origination may run
+// ahead of the stable aru. Every originated message must be retained for
+// retransmission until it stabilizes, so this window is also the bound on
+// the retransmission buffer a saturating sender can accumulate.
+const DefaultMaxUnstable = 1024
 
 // maxRtrList bounds the retransmission request list carried in the token.
 const maxRtrList = 64
@@ -115,6 +133,8 @@ type Stats struct {
 	TokenResends    uint64 // token retransmissions after timeout
 	DigestRejects   uint64 // messages discarded for digest mismatch
 	TokenRejects    uint64 // tokens rejected (signature/form/stale)
+	SubmitShed      uint64 // submissions rejected by the bounded queue
+	Throttled       uint64 // token visits that withheld origination (aru window)
 }
 
 // Config parameterizes one ring participant.
@@ -141,6 +161,17 @@ type Config struct {
 	// originating) passes the token at full speed, and a local Submit
 	// cuts the hold short. Zero disables pacing.
 	IdleDelay time.Duration
+	// MaxQueue bounds the submit queue: Submit returns ErrOverloaded
+	// once this many payloads await origination. 0 means
+	// DefaultMaxQueue; negative means unbounded (tests only).
+	MaxQueue int
+	// MaxUnstable bounds how far token-assigned sequence numbers may run
+	// ahead of the stable aru: a holder originates nothing while
+	// seq - stableAru would exceed it, which caps the retransmission
+	// buffer (msgs/digestBook) instead of letting a saturating sender
+	// grow it without limit. 0 means DefaultMaxUnstable; negative means
+	// unbounded (tests only).
+	MaxUnstable int
 	// Now is the clock; nil means time.Now (injected in tests).
 	Now func() time.Time
 	// Metrics are optional observability hooks; the zero value disables
@@ -159,11 +190,13 @@ type Ring struct {
 
 	qmu     sync.Mutex
 	sendQ   [][]byte
+	shedQ   uint64        // submissions rejected by the bounded queue (qmu)
 	submitN chan struct{} // capacity 1: edge-trigger for Submit during an idle hold
 
 	// Protocol state: single event-goroutine access.
 	visit        uint64 // highest token visit accepted
 	seq          uint64 // highest message seq known assigned
+	stable       uint64 // highest stability threshold observed (stableAru)
 	lastHeldSeq  uint64 // ring seq as of this processor's previous token hold
 	delivered    uint64 // highest contiguous seq delivered
 	msgs         map[uint64]*wire.Regular
@@ -209,6 +242,12 @@ func New(cfg Config) (*Ring, error) {
 	if cfg.MaxPerVisit <= 0 {
 		cfg.MaxPerVisit = DefaultMaxPerVisit
 	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	if cfg.MaxUnstable == 0 {
+		cfg.MaxUnstable = DefaultMaxUnstable
+	}
 	if cfg.TokenTimeout <= 0 {
 		cfg.TokenTimeout = 10 * time.Millisecond
 	}
@@ -238,7 +277,13 @@ func New(cfg Config) (*Ring, error) {
 func (r *Ring) Successor() ids.ProcessorID { return r.successor }
 
 // Stats returns a snapshot of the counters. Call from the event goroutine.
-func (r *Ring) Stats() Stats { return r.stats }
+func (r *Ring) Stats() Stats {
+	s := r.stats
+	r.qmu.Lock()
+	s.SubmitShed = r.shedQ
+	r.qmu.Unlock()
+	return s
+}
 
 // Delivered returns the highest contiguously delivered sequence number.
 func (r *Ring) Delivered() uint64 { return r.delivered }
@@ -247,18 +292,28 @@ func (r *Ring) Delivered() uint64 { return r.delivered }
 func (r *Ring) Stop() { r.stopped = true }
 
 // Submit queues contents for origination on a future token visit. Safe
-// from any goroutine. The contents are not retained by reference.
-func (r *Ring) Submit(contents []byte) {
-	c := append([]byte(nil), contents...)
+// from any goroutine. The contents are not retained by reference. When
+// the bounded queue (Config.MaxQueue) is full the submission is shed and
+// ErrOverloaded returned — the backpressure signal for the layers above.
+func (r *Ring) Submit(contents []byte) error {
 	r.qmu.Lock()
-	r.sendQ = append(r.sendQ, c)
+	if r.cfg.MaxQueue > 0 && len(r.sendQ) >= r.cfg.MaxQueue {
+		r.shedQ++
+		r.qmu.Unlock()
+		r.m.SubmitShed.Inc()
+		return fmt.Errorf("ring %s: %d queued: %w", r.cfg.Ring, r.cfg.MaxQueue, ErrOverloaded)
+	}
+	r.sendQ = append(r.sendQ, append([]byte(nil), contents...))
+	depth := len(r.sendQ)
 	r.qmu.Unlock()
+	r.m.SendQueue.Set(int64(depth))
 	// Wake an in-progress idle hold so the submission is originated on
 	// this visit instead of after the full idle delay.
 	select {
 	case r.submitN <- struct{}{}:
 	default:
 	}
+	return nil
 }
 
 // QueuedSubmissions reports how many submissions await origination.
@@ -351,7 +406,7 @@ func (r *Ring) HandleToken(raw []byte) {
 	if r.level >= sec.LevelSignatures {
 		if prevDigest, ok := r.tokensSeen[tok.Visit-1]; ok && tok.PrevTokenDigest != prevDigest {
 			r.stats.TokenRejects++
-		r.m.Rejects.Inc()
+			r.m.Rejects.Inc()
 			r.obs.MutantToken(tok.Sender, tok.Visit)
 			return
 		}
@@ -455,7 +510,11 @@ func (r *Ring) acceptToken(tok *wire.Token, raw []byte) {
 	r.stats.TokenVisits++
 	r.obs.TokenActivity(tok.Sender, tok.Visit)
 	r.tryDeliver()
-	r.gc(r.stableAru(tok.Aru))
+	st := r.stableAru(tok.Aru)
+	if st > r.stable {
+		r.stable = st
+	}
+	r.gc(st)
 
 	if r.successorOf(tok.Sender) == r.cfg.Self {
 		r.holdToken(tok)
@@ -507,8 +566,29 @@ func (r *Ring) holdToken(prev *wire.Token) {
 	}
 
 	// 2. Originate up to j new messages, assigning consecutive sequence
-	// numbers and recording their digests in the token (Figure 6).
-	batch := r.takeBatch()
+	// numbers and recording their digests in the token (Figure 6). The
+	// aru window throttles origination first: every originated message
+	// is retained until the stable aru passes it, so a holder that is
+	// already MaxUnstable messages ahead of stability adds nothing this
+	// visit. The queue keeps the overflow (bounded by MaxQueue) and the
+	// rtr/aru machinery drags the stable aru forward, so a throttled
+	// ring degrades to the retransmission-limited rate instead of
+	// growing its buffers without bound.
+	allowed := r.cfg.MaxPerVisit
+	if r.cfg.MaxUnstable > 0 {
+		ahead := r.seq - r.stable
+		switch {
+		case ahead >= uint64(r.cfg.MaxUnstable):
+			allowed = 0
+		case uint64(allowed) > uint64(r.cfg.MaxUnstable)-ahead:
+			allowed = int(uint64(r.cfg.MaxUnstable) - ahead)
+		}
+		if allowed == 0 && r.QueuedSubmissions() > 0 {
+			r.stats.Throttled++
+			r.m.Throttled.Inc()
+		}
+	}
+	batch := r.takeBatch(allowed)
 	var digests []wire.DigestEntry
 	seq := prev.Seq
 	for _, contents := range batch {
@@ -589,16 +669,22 @@ func (r *Ring) holdToken(prev *wire.Token) {
 	r.cfg.Trans.Multicast(raw)
 }
 
-// takeBatch removes up to MaxPerVisit pending submissions.
-func (r *Ring) takeBatch() [][]byte {
+// takeBatch removes up to max pending submissions (max ≤ MaxPerVisit,
+// possibly lowered further by the aru window).
+func (r *Ring) takeBatch(max int) [][]byte {
+	if max <= 0 {
+		return nil
+	}
 	r.qmu.Lock()
-	defer r.qmu.Unlock()
 	n := len(r.sendQ)
-	if n > r.cfg.MaxPerVisit {
-		n = r.cfg.MaxPerVisit
+	if n > max {
+		n = max
 	}
 	batch := r.sendQ[:n]
 	r.sendQ = r.sendQ[n:]
+	depth := len(r.sendQ)
+	r.qmu.Unlock()
+	r.m.SendQueue.Set(int64(depth))
 	return batch
 }
 
@@ -699,7 +785,7 @@ func (r *Ring) tryDeliver() {
 				// arrived: discard and await retransmission.
 				delete(r.msgs, m.Seq)
 				r.stats.DigestRejects++
-			r.m.Rejects.Inc()
+				r.m.Rejects.Inc()
 				r.obs.MutantMessage(m.Sender, m.Seq)
 				return
 			}
@@ -812,9 +898,10 @@ func (r *Ring) AdoptFlushDigests(entries []wire.DigestEntry, from ids.ProcessorI
 // layer carries them over to the ring of the next installed configuration.
 func (r *Ring) DrainQueue() [][]byte {
 	r.qmu.Lock()
-	defer r.qmu.Unlock()
 	q := r.sendQ
 	r.sendQ = nil
+	r.qmu.Unlock()
+	r.m.SendQueue.Set(0)
 	return q
 }
 

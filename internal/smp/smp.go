@@ -47,6 +47,14 @@ type Config struct {
 	// MaxPerVisit is the token-visit origination bound j (§8); 0 means
 	// ring.DefaultMaxPerVisit.
 	MaxPerVisit int
+	// MaxSubmitQueue bounds the ring's submit queue: Submit returns an
+	// error wrapping ring.ErrOverloaded once this many payloads await
+	// origination. 0 means ring.DefaultMaxQueue; negative unbounded.
+	MaxSubmitQueue int
+	// MaxUnstable bounds how far origination may run ahead of the
+	// stable aru (the ring's retransmission-buffer flow control). 0
+	// means ring.DefaultMaxUnstable; negative unbounded.
+	MaxUnstable int
 	// IdleDelay paces an idle token rotation; 0 means 500µs. An idle
 	// six-member ring then costs ~2000 signed token visits/s instead of
 	// spinning, which matters when many systems share a machine (tests).
@@ -153,6 +161,8 @@ func (s *Stack) buildRing(inst membership.Install, carryover [][]byte) (*ring.Ri
 		Obs:          s.det,
 		Metrics:      s.cfg.Metrics.Ring,
 		MaxPerVisit:  s.cfg.MaxPerVisit,
+		MaxQueue:     s.cfg.MaxSubmitQueue,
+		MaxUnstable:  s.cfg.MaxUnstable,
 		TokenTimeout: s.cfg.TokenTimeout,
 		IdleDelay:    s.cfg.IdleDelay,
 		Deliver: func(m *wire.Regular) {
@@ -167,8 +177,14 @@ func (s *Stack) buildRing(inst membership.Install, carryover [][]byte) (*ring.Ri
 	if err != nil {
 		return nil, err
 	}
+	// Carryover cannot overflow: the old ring's drained queue holds at
+	// most MaxQueue entries and the new ring starts empty with the same
+	// bound. The error is still checked so a future bound change cannot
+	// silently drop messages.
 	for _, p := range carryover {
-		r.Submit(p)
+		if err := r.Submit(p); err != nil {
+			return nil, fmt.Errorf("carryover: %w", err)
+		}
 	}
 	return r, nil
 }
@@ -207,15 +223,29 @@ func (s *Stack) Stop() {
 
 // Submit queues a payload for secure reliable totally ordered multicast.
 // Safe from any goroutine. Returns an error if this processor has been
-// excluded from the membership.
+// excluded from the membership, or one wrapping ring.ErrOverloaded when
+// the bounded submit queue is full (backpressure; retryable).
 func (s *Stack) Submit(payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cur == nil {
 		return fmt.Errorf("smp %s: excluded from membership", s.cfg.Self)
 	}
-	s.cur.Submit(payload)
+	if err := s.cur.Submit(payload); err != nil {
+		return fmt.Errorf("smp %s: %w", s.cfg.Self, err)
+	}
 	return nil
+}
+
+// QueuedSubmissions reports how many submissions await origination on the
+// current ring (0 when excluded). Safe from any goroutine.
+func (s *Stack) QueuedSubmissions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil {
+		return 0
+	}
+	return s.cur.QueuedSubmissions()
 }
 
 // Self returns this processor's identifier.

@@ -34,6 +34,7 @@ type RtgEntry struct {
 //     RtrList
 //   - message corruption: + DigestList
 //   - malicious processors: + Signature, PrevTokenDigest, RtgList
+//
 // A Token is encode-once: populate the fields, sign (SignedPortion, then
 // set Signature), then Marshal — SignedPortion and Marshal memoize their
 // encodings, so fields must not change after the first encode.
