@@ -1,10 +1,13 @@
 // Command faultinject reproduces Table 1 of the paper: it injects each
 // fault class the Immune system claims to handle — message loss, message
-// corruption, processor crash, receive omission, send omission, malicious
+// corruption, message duplication, processor crash, malicious
 // (value-faulty) replicas — and reports whether the claimed mechanism
-// detected and handled it, measured by the application-visible outcome
-// (correct voted replies, consistent replica state, faulty processor
-// excluded).
+// detected and handled it.
+//
+// The experiments themselves live in internal/scenario (Table1), shared
+// with the go-test regression suite (table1_test.go), so the fault classes
+// are exercised by `go test ./...` and this binary is just the
+// human-readable runner.
 package main
 
 import (
@@ -12,302 +15,26 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sync"
 	"time"
 
-	"immune"
+	"immune/internal/scenario"
 )
-
-const (
-	srvGroup = immune.GroupID(1)
-	cliGroup = immune.GroupID(2)
-	key      = "Store/main"
-)
-
-// storeServant is a deterministic replicated register.
-type storeServant struct {
-	mu      sync.Mutex
-	value   int64
-	corrupt bool
-}
-
-func (s *storeServant) Invoke(op string, args []byte) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if op == "set" {
-		v, err := immune.NewDecoder(args).ReadLongLong()
-		if err != nil {
-			return nil, err
-		}
-		s.value = v
-	}
-	e := immune.NewEncoder()
-	if s.corrupt {
-		e.WriteLongLong(s.value + 666)
-	} else {
-		e.WriteLongLong(s.value)
-	}
-	return e.Bytes(), nil
-}
-
-func (s *storeServant) Snapshot() []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := immune.NewEncoder()
-	e.WriteLongLong(s.value)
-	return e.Bytes()
-}
-
-func (s *storeServant) Restore(snap []byte) error {
-	v, err := immune.NewDecoder(snap).ReadLongLong()
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.value = v
-	return nil
-}
-
-// deployment is a full 6-processor, 3+3 replicated setup.
-type deployment struct {
-	sys      *immune.System
-	servants map[immune.ProcessorID]*storeServant
-	clients  []*immune.Client
-}
-
-func deploy(plan immune.FaultPlan, seed uint64) (*deployment, error) {
-	sys, err := immune.New(immune.Config{
-		Processors:     6,
-		Seed:           seed,
-		Plan:           plan,
-		SuspectTimeout: 40 * time.Millisecond,
-		CallTimeout:    20 * time.Second,
-	})
-	if err != nil {
-		return nil, err
-	}
-	sys.Start()
-	d := &deployment{sys: sys, servants: map[immune.ProcessorID]*storeServant{}}
-	for pid := immune.ProcessorID(1); pid <= 3; pid++ {
-		p, err := sys.Processor(pid)
-		if err != nil {
-			return nil, err
-		}
-		sv := &storeServant{}
-		d.servants[pid] = sv
-		r, err := p.HostServer(srvGroup, key, sv)
-		if err != nil {
-			return nil, err
-		}
-		if err := r.WaitActive(20 * time.Second); err != nil {
-			return nil, err
-		}
-	}
-	for pid := immune.ProcessorID(4); pid <= 6; pid++ {
-		p, err := sys.Processor(pid)
-		if err != nil {
-			return nil, err
-		}
-		c, err := p.NewClient(cliGroup)
-		if err != nil {
-			return nil, err
-		}
-		c.Bind(key, srvGroup)
-		if err := c.Replica().WaitActive(20 * time.Second); err != nil {
-			return nil, err
-		}
-		d.clients = append(d.clients, c)
-	}
-	return d, nil
-}
-
-// set performs a replicated set from every client replica; returns the
-// voted results.
-func (d *deployment) set(v int64) ([]int64, error) {
-	args := immune.NewEncoder()
-	args.WriteLongLong(v)
-	out := make([]int64, len(d.clients))
-	errs := make([]error, len(d.clients))
-	var wg sync.WaitGroup
-	for i, c := range d.clients {
-		wg.Add(1)
-		go func(i int, c *immune.Client) {
-			defer wg.Done()
-			body, err := c.Object(key).Invoke("set", args.Bytes())
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			out[i], errs[i] = immune.NewDecoder(body).ReadLongLong()
-		}(i, c)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
-// expectAll checks every voted result equals want.
-func expectAll(vals []int64, want int64) error {
-	for i, v := range vals {
-		if v != want {
-			return fmt.Errorf("client %d saw %d, want %d", i, v, want)
-		}
-	}
-	return nil
-}
-
-// waitExcluded polls until pid leaves the membership.
-func (d *deployment) waitExcluded(pid immune.ProcessorID, keepTraffic bool, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	v := int64(1000)
-	for time.Now().Before(deadline) {
-		p1, err := d.sys.Processor(1)
-		if err != nil {
-			return err
-		}
-		in := false
-		for _, m := range p1.View().Members {
-			if m == pid {
-				in = true
-			}
-		}
-		if !in {
-			return nil
-		}
-		if keepTraffic {
-			v++
-			_, _ = d.set(v)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	return fmt.Errorf("%s never excluded", pid)
-}
-
-type experiment struct {
-	name      string
-	mechanism string
-	run       func() error
-}
 
 func main() {
 	flag.Parse()
-	experiments := []experiment{
-		{
-			name:      "message loss (10% of frames)",
-			mechanism: "reliable delivery + retransmission (7.1)",
-			run: func() error {
-				d, err := deploy(immune.Probabilistic(1, 0.10, 0, 0, 0), 101)
-				if err != nil {
-					return err
-				}
-				defer d.sys.Stop()
-				vals, err := d.set(42)
-				if err != nil {
-					return err
-				}
-				return expectAll(vals, 42)
-			},
-		},
-		{
-			name:      "message corruption (5% of frames)",
-			mechanism: "message digest in token + retransmission (7.1)",
-			run: func() error {
-				d, err := deploy(immune.Probabilistic(2, 0, 0.05, 0, 0), 102)
-				if err != nil {
-					return err
-				}
-				defer d.sys.Stop()
-				vals, err := d.set(43)
-				if err != nil {
-					return err
-				}
-				return expectAll(vals, 43)
-			},
-		},
-		{
-			name:      "message duplication (10% of frames)",
-			mechanism: "integrity: at-most-once delivery (Table 2)",
-			run: func() error {
-				d, err := deploy(immune.Probabilistic(3, 0, 0, 0.10, 0), 103)
-				if err != nil {
-					return err
-				}
-				defer d.sys.Stop()
-				vals, err := d.set(44)
-				if err != nil {
-					return err
-				}
-				return expectAll(vals, 44)
-			},
-		},
-		{
-			name:      "processor crash (P3 detaches)",
-			mechanism: "processor membership (7.2) + object group membership (5)",
-			run: func() error {
-				d, err := deploy(nil, 104)
-				if err != nil {
-					return err
-				}
-				defer d.sys.Stop()
-				if _, err := d.set(45); err != nil {
-					return err
-				}
-				d.sys.CrashProcessor(3)
-				if err := d.waitExcluded(3, false, 20*time.Second); err != nil {
-					return err
-				}
-				vals, err := d.set(46)
-				if err != nil {
-					return err
-				}
-				return expectAll(vals, 46)
-			},
-		},
-		{
-			name:      "value fault (server replica on P2 lies)",
-			mechanism: "majority voting (6.1) + value fault detection (6.2) + exclusion",
-			run: func() error {
-				d, err := deploy(nil, 105)
-				if err != nil {
-					return err
-				}
-				defer d.sys.Stop()
-				if _, err := d.set(47); err != nil {
-					return err
-				}
-				d.servants[2].mu.Lock()
-				d.servants[2].corrupt = true
-				d.servants[2].mu.Unlock()
-				vals, err := d.set(48)
-				if err != nil {
-					return err
-				}
-				if err := expectAll(vals, 48); err != nil {
-					return fmt.Errorf("voting failed to mask the lie: %w", err)
-				}
-				return d.waitExcluded(2, true, 20*time.Second)
-			},
-		},
-	}
-
 	failures := 0
 	fmt.Println("Table 1 fault-injection harness")
 	fmt.Println("===============================")
-	for _, ex := range experiments {
+	for _, ex := range scenario.Table1() {
 		start := time.Now()
-		err := ex.run()
+		err := ex.Run()
 		status := "HANDLED"
 		if err != nil {
 			status = "FAILED: " + err.Error()
 			failures++
 		}
 		fmt.Printf("%-45s | %-60s | %-8s (%.1fs)\n",
-			ex.name, ex.mechanism, status, time.Since(start).Seconds())
+			ex.Name, ex.Mechanism, status, time.Since(start).Seconds())
 	}
 	if failures > 0 {
 		log.Printf("%d experiment(s) failed", failures)

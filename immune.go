@@ -167,6 +167,12 @@ type Config struct {
 	// SuspectTimeout is the Byzantine fault detector's liveness timeout;
 	// zero means 50ms.
 	SuspectTimeout time.Duration
+	// StrikeThreshold is how many weakly attributable offenses (invalid
+	// tokens, digest-mismatched messages) a processor may accumulate
+	// before the Byzantine fault detector suspects it; zero means 3.
+	// Deployments on lossy links raise it so sustained wire corruption —
+	// a link property — is not mistaken for processor misbehaviour.
+	StrikeThreshold int
 	// IdleDelay paces an idle token rotation; zero means 500µs.
 	IdleDelay time.Duration
 	// PollInterval is each processor's event-loop idle sleep; zero means
@@ -227,6 +233,7 @@ func New(cfg Config) (*System, error) {
 		AutoRecover:        cfg.AutoRecover,
 		RecoveryBackoff:    cfg.RecoveryBackoff,
 		SuspectTimeout:     cfg.SuspectTimeout,
+		StrikeThreshold:    cfg.StrikeThreshold,
 		IdleDelay:          cfg.IdleDelay,
 		PollInterval:       cfg.PollInterval,
 		CryptoWorkFactor:   cfg.CryptoWorkFactor,

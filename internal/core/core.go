@@ -63,6 +63,12 @@ type Config struct {
 	// SuspectTimeout is the fault detector's liveness timeout; 0 means
 	// 50ms.
 	SuspectTimeout time.Duration
+	// StrikeThreshold is how many weakly attributable offenses (invalid
+	// tokens, digest-mismatched messages) a processor may accumulate
+	// before being suspected; 0 means the detector default (3). Raise it
+	// on lossy links where wire corruption would otherwise be mistaken
+	// for processor misbehaviour.
+	StrikeThreshold int
 	// IdleDelay paces an idle token rotation; 0 means 500µs.
 	IdleDelay time.Duration
 	// PollInterval is each processor's event-loop idle sleep; 0 means
@@ -219,22 +225,23 @@ func NewSystem(cfg Config) (*System, error) {
 
 		proc := &Processor{id: p, sys: s}
 		stack, err := smp.New(smp.Config{
-			Self:           p,
-			Members:        members,
-			Suite:          suite,
-			Endpoint:       ep,
-			MaxPerVisit:    cfg.MaxPerVisit,
-			MaxSubmitQueue: cfg.MaxSubmitQueue,
-			MaxUnstable:    cfg.MaxUnstable,
-			IdleDelay:      cfg.IdleDelay,
-			PollInterval:   cfg.PollInterval,
-			SuspectTimeout: cfg.SuspectTimeout,
-			Metrics:        smp.MetricsFrom(reg),
+			Self:            p,
+			Members:         members,
+			Suite:           suite,
+			Endpoint:        ep,
+			MaxPerVisit:     cfg.MaxPerVisit,
+			MaxSubmitQueue:  cfg.MaxSubmitQueue,
+			MaxUnstable:     cfg.MaxUnstable,
+			IdleDelay:       cfg.IdleDelay,
+			PollInterval:    cfg.PollInterval,
+			SuspectTimeout:  cfg.SuspectTimeout,
+			StrikeThreshold: cfg.StrikeThreshold,
+			Metrics:         smp.MetricsFrom(reg),
 			Deliver: func(d smp.Delivery) {
 				proc.mgr.HandleDelivery(d.Payload)
 			},
 			OnMembershipChange: func(inst membership.Install) {
-				proc.mgr.OnMembershipInstall(uint64(inst.ID), inst.Members)
+				proc.mgr.OnMembershipInstall(uint64(inst.ID), inst.Members, inst.Behind)
 				s.rec.Kick()
 				if cfg.OnMembershipChange != nil {
 					cfg.OnMembershipChange(p, inst)

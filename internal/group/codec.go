@@ -41,6 +41,23 @@ const (
 	// membership install so that a rejoining processor can rebuild the
 	// directory state it missed while excluded.
 	KindDirectorySync
+	// KindInvocationRetry is a client's re-multicast of an invocation it
+	// has already submitted (same operation id and payload). Voters treat
+	// it exactly like KindInvocation — if the original copy was lost the
+	// retry still contributes a vote — but it additionally asks server
+	// replicas that have already executed the operation to re-send their
+	// retained reply, so a lost response does not wedge the call
+	// (at-most-once execution with reply retention).
+	KindInvocationRetry
+	// KindRejoin re-admits a server replica whose processor installed a
+	// processor membership while still behind on the old ring's delivered
+	// tail: the replica may have silently missed decided operations, so
+	// at this message's total-order position it is removed from the
+	// group's active membership and immediately re-admitted as a fresh
+	// joiner behind a majority-voted state transfer from the remaining
+	// active replicas. The hosting processor keeps the local replica
+	// (inactive) while the transfer rebuilds its state.
+	KindRejoin
 )
 
 // String returns the kind name.
@@ -60,6 +77,10 @@ func (k Kind) String() string {
 		return "state"
 	case KindDirectorySync:
 		return "directory-sync"
+	case KindInvocationRetry:
+		return "invocation-retry"
+	case KindRejoin:
+		return "rejoin"
 	default:
 		return fmt.Sprintf("group.Kind(%d)", byte(k))
 	}
@@ -157,7 +178,7 @@ func Unmarshal(data []byte) (*Message, error) {
 	if r.off != len(data) {
 		return nil, fmt.Errorf("group: %d trailing bytes", len(data)-r.off)
 	}
-	if m.Kind < KindInvocation || m.Kind > KindDirectorySync {
+	if m.Kind < KindInvocation || m.Kind > KindRejoin {
 		return nil, fmt.Errorf("group: unknown kind %d", m.Kind)
 	}
 	return m, nil

@@ -48,6 +48,14 @@ type Install struct {
 	ID      ids.MembershipID
 	Ring    ids.RingID
 	Members []ids.ProcessorID // sorted
+	// Behind is a local-only flag: true when this processor installed the
+	// membership knowing it had not delivered the old ring's full tail
+	// (the flush barrier expired before it caught up). Messages other
+	// members delivered are lost to it, so any application state built
+	// from the delivery stream may have silently missed updates and must
+	// be rebuilt, not trusted. Behind is never true for a processor
+	// outside Members — exclusion already forces a full resync.
+	Behind bool
 }
 
 // RingBridge is the membership protocol's handle on the current ring
@@ -100,7 +108,12 @@ type Config struct {
 	// FormTimeout is how long to wait for a member's proposal before
 	// reporting it unresponsive; 0 means 100ms.
 	FormTimeout time.Duration
-	// FlushTimeout bounds the flush barrier wait; 0 means 50ms.
+	// FlushTimeout bounds the flush barrier wait; 0 means 250ms. The
+	// barrier only delays installs while some member still lags the old
+	// ring's delivered tail, so a generous bound costs nothing on the
+	// common path and gives slow-but-correct members time to catch up —
+	// a member that installs still lagging loses the tail for good and
+	// must rebuild its replicas (Install.Behind).
 	FlushTimeout time.Duration
 	// AnnounceInterval is how often the lowest member of an installed
 	// view advertises it to processors outside it (Eventual Inclusion,
@@ -128,6 +141,7 @@ type Membership struct {
 	proposals    map[ids.ProcessorID]*wire.Membership // latest per sender
 	suspectVotes map[ids.ProcessorID]map[ids.ProcessorID]bool
 	formStarted  time.Time
+	flushStarted time.Time // barrier epoch: set once per formation, never rearmed
 	lastPropose  time.Time
 	lastFlush    time.Time
 	lastAnnounce time.Time
@@ -154,7 +168,7 @@ func New(cfg Config) (*Membership, error) {
 		cfg.FormTimeout = 100 * time.Millisecond
 	}
 	if cfg.FlushTimeout <= 0 {
-		cfg.FlushTimeout = 50 * time.Millisecond
+		cfg.FlushTimeout = 250 * time.Millisecond
 	}
 	if cfg.AnnounceInterval <= 0 {
 		cfg.AnnounceInterval = 50 * time.Millisecond
@@ -192,6 +206,7 @@ func (m *Membership) Current() Install {
 		ID:      m.current.ID,
 		Ring:    m.current.Ring,
 		Members: append([]ids.ProcessorID(nil), m.current.Members...),
+		Behind:  m.current.Behind,
 	}
 }
 
@@ -294,6 +309,7 @@ func (m *Membership) needChange() bool {
 func (m *Membership) beginForming() {
 	m.forming = true
 	m.formStarted = m.now()
+	m.flushStarted = m.formStarted
 	m.proposals = make(map[ids.ProcessorID]*wire.Membership)
 	m.suspectVotes = make(map[ids.ProcessorID]map[ids.ProcessorID]bool)
 	m.recomputeProposal()
@@ -439,7 +455,15 @@ func (m *Membership) HandleMessage(raw []byte) {
 		if !m.plausible(msg.Members, msg.Sender) {
 			return
 		}
-		m.install(msg.Members, msg.InstallID, msg.NewRing)
+		// The old-ring tail for the Behind check: the committer's claim,
+		// plus anything higher claimed by a continuing member's proposal.
+		tail := msg.Delivered
+		for _, p := range msg.Members {
+			if prop, ok := m.proposals[p]; ok && prop.Delivered > tail {
+				tail = prop.Delivered
+			}
+		}
+		m.install(msg.Members, msg.InstallID, msg.NewRing, tail)
 	}
 }
 
@@ -494,7 +518,7 @@ func (m *Membership) handleAnnounce(msg *wire.Membership) {
 		(msg.InstallID == m.current.ID || m.isMember(m.cfg.Self)) {
 		return
 	}
-	m.install(msg.Members, msg.InstallID, msg.NewRing)
+	m.install(msg.Members, msg.InstallID, msg.NewRing, 0)
 	m.lastRejoin = time.Time{} // request readmission on the next Tick
 }
 
@@ -626,8 +650,11 @@ func (m *Membership) tryInstall() {
 	// rising Delivered values as the flush lands), unless the barrier
 	// times out — a Byzantine member could otherwise stall installs with
 	// an inflated claim or a frozen one.
+	// The barrier runs on its own epoch: formStarted rearms with every
+	// unresponsive-detection round, and a barrier tied to it could never
+	// expire once FlushTimeout exceeds FormTimeout.
 	if minDelivered < maxDelivered &&
-		m.now().Sub(m.formStarted) < m.cfg.FlushTimeout {
+		m.now().Sub(m.flushStarted) < m.cfg.FlushTimeout {
 		m.flush()
 		return
 	}
@@ -644,7 +671,7 @@ func (m *Membership) tryInstall() {
 		return
 	}
 	m.cfg.Trans.Multicast(commit.Marshal())
-	m.install(m.myProposal, m.current.ID+1, m.current.Ring+1)
+	m.install(m.myProposal, m.current.ID+1, m.current.Ring+1, maxDelivered)
 }
 
 // plausible checks whether a commit's membership could have been agreed by
@@ -666,14 +693,28 @@ func (m *Membership) plausible(members []ids.ProcessorID, sender ids.ProcessorID
 }
 
 // install finalizes the new membership.
-func (m *Membership) install(members []ids.ProcessorID, id ids.MembershipID, ring ids.RingID) {
+// install commits a new membership locally. tail is the highest old-ring
+// delivered point claimed by any continuing member (0 when unknown): a
+// member installing below it marks the install Behind, so upper layers
+// can rebuild rather than silently diverge from peers that delivered the
+// messages this processor lost with the old ring.
+func (m *Membership) install(members []ids.ProcessorID, id ids.MembershipID, ring ids.RingID, tail uint64) {
 	m.forming = false
 	m.attempt = 0
 	m.myProposal = nil
 	m.proposals = make(map[ids.ProcessorID]*wire.Membership)
 	m.suspectVotes = make(map[ids.ProcessorID]map[ids.ProcessorID]bool)
 	sorted := wire.SortProcessors(append([]ids.ProcessorID(nil), members...))
-	m.current = Install{ID: id, Ring: ring, Members: sorted}
+	behind := false
+	if m.cfg.Bridge.Delivered() < tail {
+		for _, p := range sorted {
+			if p == m.cfg.Self {
+				behind = true
+				break
+			}
+		}
+	}
+	m.current = Install{ID: id, Ring: ring, Members: sorted, Behind: behind}
 	for _, p := range sorted {
 		delete(m.joined, p)
 	}

@@ -686,3 +686,39 @@ func TestRejoinFastForwardRejectsZeroRing(t *testing.T) {
 		t.Fatalf("zero-ring fast-forward desynced ring numbering: %+v", got)
 	}
 }
+
+func TestFlushBarrierExpiryMarksInstallBehind(t *testing.T) {
+	members := []ids.ProcessorID{1, 2, 3, 4}
+	sim := newMemberSim(t, members, sec.LevelSignatures)
+	// P3 is behind, and this time the up-to-date members hold no digest
+	// vouchers for the tail (the messages were digest-vouched away or the
+	// book was pruned), so flushing cannot catch P3 up. The barrier must
+	// still expire — a Byzantine laggard could otherwise wedge formation
+	// forever — and P3's install must carry the Behind flag so the layers
+	// above know its replica state may have silently diverged.
+	for _, p := range []ids.ProcessorID{1, 2} {
+		sim.bridges[p].delivered = 9
+	}
+	sim.bridges[3].delivered = 5
+	sim.dropTo[4] = true
+	for _, p := range []ids.ProcessorID{1, 2, 3} {
+		sim.sources[p].suspects[4] = true
+	}
+	sim.run(300, 1, []ids.ProcessorID{1, 2, 3})
+
+	for _, p := range []ids.ProcessorID{1, 2, 3} {
+		ins := sim.installs[p]
+		if len(ins) == 0 {
+			t.Fatalf("P%d never installed: flush barrier must expire", p)
+		}
+		got := ins[len(ins)-1]
+		want := p == 3
+		if got.Behind != want {
+			t.Fatalf("P%d installed Behind=%v, want %v", p, got.Behind, want)
+		}
+	}
+	if sim.bridges[3].delivered != 5 {
+		t.Fatalf("laggard delivered %d, expected to stay at 5 (no vouchers to adopt)",
+			sim.bridges[3].delivered)
+	}
+}

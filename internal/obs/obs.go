@@ -155,30 +155,47 @@ func (v HistogramValue) Mean() time.Duration {
 	return v.Sum / time.Duration(v.Count)
 }
 
+// bucketLower returns the inclusive lower bound of bucket i (bucket 0
+// starts at zero).
+func bucketLower(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	return BucketBound(i - 1)
+}
+
 // Quantile estimates the q-quantile (q in [0,1]) from the bucket counts,
-// reporting the upper bound of the bucket containing the quantile rank.
+// interpolating linearly within the bucket containing the quantile rank
+// (observations are assumed uniformly spread across a bucket). The
+// overflow bucket has no finite upper bound, so a quantile landing there
+// reports the bucket's lower bound — a floor, not an estimate. An empty
+// histogram reports zero; q outside [0,1] is clamped.
 func (v HistogramValue) Quantile(q float64) time.Duration {
 	if v.Count == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := uint64(math.Ceil(q * float64(v.Count)))
-	if rank == 0 {
-		rank = 1
-	}
+	q = math.Max(0, math.Min(1, q))
+	rank := q * float64(v.Count)
 	var seen uint64
 	for i := 0; i < numBuckets; i++ {
-		seen += v.Buckets[i]
-		if seen >= rank {
-			return BucketBound(i)
+		b := v.Buckets[i]
+		if b == 0 {
+			continue
 		}
+		if float64(seen)+float64(b) >= rank {
+			if i == numBuckets-1 {
+				return bucketLower(i)
+			}
+			lo, hi := bucketLower(i), BucketBound(i)
+			frac := (rank - float64(seen)) / float64(b)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		seen += b
 	}
-	return BucketBound(numBuckets - 1)
+	return bucketLower(numBuckets - 1)
 }
 
 // Registry holds named metrics. Registration is idempotent by name; the
@@ -312,8 +329,8 @@ func (s Snapshot) String() string {
 	sort.Strings(names)
 	for _, n := range names {
 		h := s.Histograms[n]
-		fmt.Fprintf(&b, "%s count=%d mean=%s p50=%s p99=%s\n",
-			n, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+		fmt.Fprintf(&b, "%s count=%d mean=%s p50=%s p99=%s p999=%s\n",
+			n, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999))
 	}
 	return b.String()
 }

@@ -124,6 +124,81 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestQuantileEmpty(t *testing.T) {
+	var v HistogramValue
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := v.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	h := &Histogram{}
+	// 100 observations, all in bucket 4 ([8µs, 16µs)).
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	v := h.snapshot()
+	lo, hi := 8*time.Microsecond, 16*time.Microsecond
+	for _, q := range []float64{0, 0.25, 0.5, 0.999, 1} {
+		got := v.Quantile(q)
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v]", q, got, lo, hi)
+		}
+	}
+	// Interpolation is linear within the bucket: the median of a full
+	// bucket lands at its midpoint, and quantiles are monotone in q.
+	if got, want := v.Quantile(0.5), lo+(hi-lo)/2; got != want {
+		t.Errorf("Quantile(0.5) = %v, want bucket midpoint %v", got, want)
+	}
+	if v.Quantile(0.25) >= v.Quantile(0.75) {
+		t.Errorf("quantiles not monotone: p25=%v p75=%v", v.Quantile(0.25), v.Quantile(0.75))
+	}
+	// Out-of-range q clamps instead of exploding.
+	if v.Quantile(-1) != v.Quantile(0) || v.Quantile(2) != v.Quantile(1) {
+		t.Errorf("q outside [0,1] not clamped")
+	}
+}
+
+func TestQuantileInterpolatesAcrossBuckets(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond) // bucket 1: [1µs, 2µs)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond) // bucket 10: [512µs, 1024µs)
+	}
+	v := h.snapshot()
+	if p50 := v.Quantile(0.50); p50 < time.Microsecond || p50 >= 2*time.Microsecond {
+		t.Errorf("p50 = %v, want within the low bucket [1µs, 2µs)", p50)
+	}
+	// p99 falls at rank 99 of 100 — 9 observations into the 10-count high
+	// bucket, i.e. 90%% of the way through [512µs, 1024µs).
+	want := 512*time.Microsecond + time.Duration(0.9*float64(512*time.Microsecond))
+	if p99 := v.Quantile(0.99); p99 != want {
+		t.Errorf("p99 = %v, want %v", p99, want)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(time.Microsecond)
+	h.Observe(100 * time.Hour) // lands in the unbounded overflow bucket
+	v := h.snapshot()
+	if v.Buckets[numBuckets-1] != 1 {
+		t.Fatalf("overflow observation not in last bucket: %v", v.Buckets)
+	}
+	// A quantile inside the overflow bucket reports the bucket's lower
+	// bound (there is no finite upper bound to interpolate toward).
+	if got, want := v.Quantile(1), bucketLower(numBuckets-1); got != want {
+		t.Errorf("Quantile(1) = %v, want overflow lower bound %v", got, want)
+	}
+	if v.Quantile(0.999) != bucketLower(numBuckets-1) {
+		t.Errorf("p999 = %v, want overflow lower bound", v.Quantile(0.999))
+	}
+}
+
 func TestSnapshotString(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("ring.delivered").Add(12)

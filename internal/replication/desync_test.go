@@ -1,0 +1,128 @@
+package replication
+
+import (
+	"testing"
+	"time"
+
+	"immune/internal/ids"
+	"immune/internal/iiop"
+)
+
+// TestBehindInstallRebuildsServerReplicas: a processor that installs a
+// membership while behind on the old ring's delivered tail (a flush
+// barrier expiry) must not keep executing on silently divergent state.
+// The manager resyncs its directory from a continuing member's dump and
+// re-admits every hosted server replica via KindRejoin, restoring
+// majority-voted state — so a replica whose state drifted (here, faked
+// by mutating the servant directly) converges back to its peers instead
+// of splitting every later response vote three ways.
+func TestBehindInstallRebuildsServerReplicas(t *testing.T) {
+	b := newBus()
+	var managers []*Manager
+	for i := 1; i <= 3; i++ {
+		m, err := NewManager(Config{
+			Stack:      &busStack{b: b, self: ids.ProcessorID(i)},
+			Processors: 3, CallTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.attach(m)
+		managers = append(managers, m)
+	}
+	go b.run()
+	t.Cleanup(b.stop)
+
+	sv1, sv2 := &echoServant{}, &echoServant{}
+	h1, err := managers[0].HostReplica(serverG, "echo-server", sv1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := managers[1].HostReplica(serverG, "echo-server", sv2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := managers[2].HostReplica(clientG, "c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+	for _, h := range []*Handle{h1, h2, client} {
+		if err := h.WaitActive(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	add := func(delta int64) []byte {
+		e := iiop.NewEncoder()
+		e.WriteLongLong(delta)
+		req := &iiop.Request{RequestID: 1, ResponseExpected: true,
+			ObjectKey: []byte("echo-server"), Operation: "add", Body: e.Bytes()}
+		return req.Marshal()
+	}
+	if _, err := client.Invoke(serverG, add(5)); err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+
+	// P2 silently diverges (stands in for executions lost with the old
+	// ring's undelivered tail).
+	sv2.mu.Lock()
+	sv2.state = 999
+	sv2.mu.Unlock()
+
+	// Install 2 lands with P2 behind: P2 first (it buffers until a dump),
+	// then the synced members, whose install emits the dump.
+	managers[1].OnMembershipInstall(2, []ids.ProcessorID{1, 2, 3}, true)
+	managers[0].OnMembershipInstall(2, []ids.ProcessorID{1, 2, 3}, false)
+	managers[2].OnMembershipInstall(2, []ids.ProcessorID{1, 2, 3}, false)
+	b.settle(t)
+
+	if got := managers[1].Stats().Desyncs; got != 1 {
+		t.Fatalf("Desyncs = %d, want 1", got)
+	}
+	if err := h2.WaitActive(5 * time.Second); err != nil {
+		t.Fatalf("rejoined replica never reactivated: %v", err)
+	}
+	sv2.mu.Lock()
+	state := sv2.state
+	sv2.mu.Unlock()
+	if state != 5 {
+		t.Fatalf("post-rejoin state = %d, want 5 (restored from provider)", state)
+	}
+
+	// The transferred snapshot carries the retained-reply cache too, so
+	// the rebuilt replica can still answer retries for pre-desync ops.
+	op := ids.OperationID{ClientGroup: clientG, Seq: 1}
+	m2 := managers[1]
+	m2.mu.Lock()
+	st := m2.hosted[serverG]
+	var cached bool
+	if st != nil {
+		_, cached = st.replies[op]
+	}
+	m2.mu.Unlock()
+	if !cached {
+		t.Fatal("rejoined replica lost the retained-reply cache")
+	}
+
+	// And the group votes cleanly again: both replicas execute the next
+	// op on converged state, so the response decides without value faults.
+	reply, err := client.Invoke(serverG, add(7))
+	if err != nil {
+		t.Fatalf("post-rejoin invoke: %v", err)
+	}
+	d := iiop.NewDecoder(decodeReplyBody(t, reply))
+	sum, err := d.ReadLongLong()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 12 {
+		t.Fatalf("post-rejoin sum = %d, want 12", sum)
+	}
+	for i, m := range managers {
+		if vf := m.Stats().ValueFaults; vf != 0 {
+			t.Fatalf("manager %d observed %d value faults after rebuild", i+1, vf)
+		}
+	}
+}

@@ -120,7 +120,7 @@ func TestDirectorySyncAfterRejoin(t *testing.T) {
 	// P3 is readmitted at install 2. The surviving synced members dump
 	// their directory; P3 applies the dump and replays the tail.
 	for _, m := range f.managers {
-		m.OnMembershipInstall(2, []ids.ProcessorID{1, 2, 3})
+		m.OnMembershipInstall(2, []ids.ProcessorID{1, 2, 3}, false)
 	}
 	f.b.settle(t)
 	if !f.managers[2].Synced() {

@@ -13,6 +13,7 @@
 package replication
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"immune/internal/sec"
 	"immune/internal/voting"
 )
+
 
 // Multicaster is the Replication Manager's handle on the Secure Multicast
 // Protocols (the object group interface of Figure 2). smp.Stack satisfies
@@ -44,6 +46,7 @@ type Multicaster interface {
 type Stats struct {
 	InvocationsSent     uint64 // client-role invocations multicast
 	ResponsesSent       uint64 // server-role responses multicast
+	ResponsesResent     uint64 // retained replies re-sent for retried invocations
 	InvocationsDecided  uint64 // voted invocations dispatched to servants
 	ResponsesDecided    uint64 // voted responses delivered to callers
 	DuplicatesDiscarded uint64 // copies suppressed after decisions
@@ -51,6 +54,7 @@ type Stats struct {
 	StateTransfers      uint64 // snapshots installed on joining replicas
 	OverloadRejects     uint64 // invocations shed by the in-flight cap
 	BacklogShed         uint64 // backlog entries shed (cap or TTL)
+	Desyncs             uint64 // behind installs forcing replica rebuilds
 }
 
 // Config parameterizes a Manager.
@@ -167,6 +171,11 @@ const syncBufLimit = 65536
 // cache bridges that window.
 const respCacheLimit = 8192
 
+// replyCacheLimit bounds the executed-reply retention cache that serves
+// invocation retries (at-most-once execution: a retried operation must
+// get its original reply back, never a re-execution).
+const replyCacheLimit = 8192
+
 // DefaultMaxInFlight is the default per-client-replica cap on concurrent
 // two-way invocations awaiting a voted response.
 const DefaultMaxInFlight = 4096
@@ -214,6 +223,19 @@ type replicaState struct {
 	// State transfer on join (§3.1 replica reallocation).
 	needState bool
 	backlog   []backlogEntry
+	// rejoin marks a server replica awaiting a KindRejoin submission
+	// after a behind install's directory resync: its state may have
+	// silently missed decided operations, so it must be re-admitted
+	// behind a fresh state transfer before executing again.
+	rejoin bool
+
+	// Retained replies for executed operations (at-most-once execution:
+	// an invocation retry is answered from here, never re-executed).
+	// Identical across a group's active replicas — entries accrue in
+	// total order and ride state transfers — so retained copies still
+	// reach the response-vote majority after re-hosting.
+	replies  map[ids.OperationID][]byte
+	replyLog []ids.OperationID // FIFO for bounding replies
 
 	opSeq    uint64 // client-role operation counter
 	inflight int    // two-way invocations awaiting a voted response
@@ -506,16 +528,20 @@ func (h *Handle) Invoke(target ids.ObjectGroupID, iiopRequest []byte) ([]byte, e
 // the configured retry budget, with jittered exponential backoff between
 // attempts; re-sends reuse the same operation identifier, so duplicate
 // detection discards the extra copies and at-most-once execution is
-// preserved. Failures wrap ErrTimeout, ErrNotActive, ErrQuorumLost, or
-// ErrGroupDegraded (match with errors.Is).
+// preserved. Re-sends are marked KindInvocationRetry, which additionally
+// prompts server replicas that already executed the operation to re-send
+// their retained reply — recovering calls whose response was lost in
+// transit or shed by an unstable ring. Failures wrap ErrTimeout,
+// ErrNotActive, ErrQuorumLost, or ErrGroupDegraded (match with errors.Is).
 func (h *Handle) InvokeDeadline(target ids.ObjectGroupID, iiopRequest []byte, deadline time.Time) ([]byte, error) {
 	if deadline.IsZero() {
 		deadline = time.Now().Add(h.m.callTimeout)
 	}
-	op, ch, raw, err := h.prepare(target, iiopRequest, true)
+	op, ch, msg, err := h.prepare(target, iiopRequest, true)
 	if err != nil {
 		return nil, err
 	}
+	var rawRetry []byte // lazily marshaled first time a re-send happens
 	attempts := h.m.retries + 1
 	timer := time.NewTimer(0)
 	if !timer.Stop() {
@@ -550,8 +576,9 @@ func (h *Handle) InvokeDeadline(target ids.ObjectGroupID, iiopRequest []byte, de
 		if attempt+1 >= attempts {
 			return nil, h.m.timeoutError(op, target, deadline)
 		}
-		// Jittered backoff, then re-multicast the identical message (same
-		// operation id — voters discard copies of decided operations).
+		// Jittered backoff, then re-multicast the invocation as a retry
+		// (same operation id — voters discard copies of decided
+		// operations, and executed replicas answer from reply retention).
 		backoff := sec.JitteredBackoff(h.m.retryBackoff, attempt, 250*time.Millisecond, h.m.jitter)
 		if wait := time.Until(deadline); backoff > wait {
 			backoff = wait
@@ -568,7 +595,11 @@ func (h *Handle) InvokeDeadline(target ids.ObjectGroupID, iiopRequest []byte, de
 			case <-timer.C:
 			}
 		}
-		if err := h.m.stack.Submit(raw); err != nil {
+		if rawRetry == nil {
+			msg.Kind = group.KindInvocationRetry
+			rawRetry = msg.Marshal()
+		}
+		if err := h.m.stack.Submit(rawRetry); err != nil {
 			if errors.Is(err, ErrOverloaded) {
 				// The re-send was shed by the bounded submit queue, but the
 				// original copy is already in the total order — keep waiting
@@ -613,9 +644,9 @@ func (h *Handle) InvokeOneWay(target ids.ObjectGroupID, iiopRequest []byte) erro
 }
 
 // prepare assigns the operation identifier, registers a waiter for two-way
-// calls, and multicasts the invocation. It returns the marshaled message
-// so retries can re-send identical bytes.
-func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bool) (ids.OperationID, chan invokeResult, []byte, error) {
+// calls, and multicasts the invocation. It returns the message so retries
+// can re-marshal it with the retry kind.
+func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bool) (ids.OperationID, chan invokeResult, *group.Message, error) {
 	m := h.m
 	m.mu.Lock()
 	if !h.st.active {
@@ -660,8 +691,7 @@ func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bo
 		Sender:  h.st.id,
 		Payload: iiopRequest,
 	}
-	raw := msg.Marshal()
-	if err := m.stack.Submit(raw); err != nil {
+	if err := m.stack.Submit(msg.Marshal()); err != nil {
 		m.mu.Lock()
 		if twoway {
 			m.dropWaiterLocked(op)
@@ -680,7 +710,7 @@ func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bo
 		// the trace so its slot does not linger until the table caps out.
 		m.tracer.Finish(op)
 	}
-	return op, ch, raw, nil
+	return op, ch, msg, nil
 }
 
 // HandleDelivery processes one totally ordered payload from the Secure
@@ -710,7 +740,7 @@ func (m *Manager) applyLocked(msg *group.Message) {
 		m.handleJoin(msg)
 	case group.KindLeave:
 		m.handleLeave(msg)
-	case group.KindInvocation:
+	case group.KindInvocation, group.KindInvocationRetry:
 		m.handleInvocation(msg)
 	case group.KindResponse:
 		m.handleResponse(msg)
@@ -718,6 +748,8 @@ func (m *Manager) applyLocked(msg *group.Message) {
 		m.vfd.remoteVote(msg)
 	case group.KindState:
 		m.handleState(msg)
+	case group.KindRejoin:
+		m.handleRejoin(msg)
 	}
 }
 
@@ -782,6 +814,13 @@ func (m *Manager) handleJoin(msg *group.Message) {
 	m.pending[msg.Member] = wait
 	if localJoiner {
 		st.needState = true
+		// Invocations decided between hosting the replica and this join's
+		// delivery are already reflected in the providers' snapshots
+		// (captured exactly at this total-order position); replaying them
+		// after Restore would double-apply them. The backlog restarts
+		// empty here, so activation replays only what providers applied
+		// after the snapshot point.
+		m.takeBacklogLocked(st)
 	}
 	if local && st.active && st.servant != nil && !localJoiner {
 		state := &group.Message{
@@ -790,7 +829,7 @@ func (m *Manager) handleJoin(msg *group.Message) {
 			Target:  msg.Member.Group,
 			Op:      ids.OperationID{Seq: marker},
 			Sender:  st.id,
-			Payload: st.servant.Snapshot(),
+			Payload: encodeStatePayload(st.servant.Snapshot(), st.replies, st.replyLog),
 		}
 		_ = m.stack.Submit(state.Marshal())
 	}
@@ -860,6 +899,13 @@ func (m *Manager) handleInvocation(msg *group.Message) {
 	out := m.invVoter.OfferDigest(msg.Op, msg.Sender, msg.Payload, d)
 	m.noteOutcome(msg, out, d)
 	if !out.Decided {
+		if msg.Kind == group.KindInvocationRetry && out.Duplicate {
+			// The client is retrying an operation this replica already
+			// executed: its response (or the original submit) was lost.
+			// Re-send the retained reply instead of re-executing, so the
+			// call completes without violating at-most-once semantics.
+			m.resendReplyLocked(st, msg.Op)
+		}
 		return
 	}
 	delete(m.invDest, msg.Op)
@@ -880,6 +926,21 @@ func (m *Manager) dispatchInvocation(st *replicaState, op ids.OperationID, iiopR
 	if err != nil || reply == nil {
 		return // undecodable request or one-way: nothing to send back
 	}
+	// Retain the reply before attempting to send it: if the submit fails
+	// (the ring can refuse new traffic while a dead member blocks
+	// stability) the operation must still be answerable from the cache
+	// when the client retries.
+	retainReplyLocked(st, op, reply)
+	if err := m.stack.Submit(m.responseFor(st, op, reply)); err == nil {
+		m.stats.ResponsesSent++
+		m.met.ResponsesSent.Inc()
+		m.tracer.Mark(op, obs.StageExecuted)
+	}
+}
+
+// responseFor marshals this replica's response copy for an executed
+// operation.
+func (m *Manager) responseFor(st *replicaState, op ids.OperationID, reply []byte) []byte {
 	resp := &group.Message{
 		Kind:    group.KindResponse,
 		Dest:    op.ClientGroup,
@@ -887,10 +948,42 @@ func (m *Manager) dispatchInvocation(st *replicaState, op ids.OperationID, iiopR
 		Sender:  st.id,
 		Payload: reply,
 	}
-	if err := m.stack.Submit(resp.Marshal()); err == nil {
-		m.stats.ResponsesSent++
-		m.met.ResponsesSent.Inc()
-		m.tracer.Mark(op, obs.StageExecuted)
+	return resp.Marshal()
+}
+
+// retainReplyLocked records an executed operation's reply on the replica
+// for later re-sends (bounded FIFO). Entries accrue in total order, so
+// every active replica of a group holds the same cache. Caller holds
+// m.mu.
+func retainReplyLocked(st *replicaState, op ids.OperationID, reply []byte) {
+	if st.replies == nil {
+		st.replies = make(map[ids.OperationID][]byte)
+	}
+	if _, ok := st.replies[op]; ok {
+		return
+	}
+	st.replies[op] = reply
+	st.replyLog = append(st.replyLog, op)
+	if len(st.replyLog) > replyCacheLimit {
+		evict := st.replyLog[0]
+		st.replyLog = st.replyLog[1:]
+		delete(st.replies, evict)
+	}
+}
+
+// resendReplyLocked answers a retried invocation from the replica's
+// retained-reply cache. A miss is harmless: either the operation was
+// never executed here (it is still pending or backlogged and will answer
+// through the normal path) or its entry aged out, in which case the
+// other replicas' copies carry the vote. Caller holds m.mu.
+func (m *Manager) resendReplyLocked(st *replicaState, op ids.OperationID) {
+	reply, ok := st.replies[op]
+	if !ok || !st.active {
+		return
+	}
+	if err := m.stack.Submit(m.responseFor(st, op, reply)); err == nil {
+		m.stats.ResponsesResent++
+		m.met.ResponsesResent.Inc()
 	}
 }
 
@@ -1012,20 +1105,99 @@ func (m *Manager) handleState(msg *group.Message) {
 		m.notifyChangeLocked()
 		return
 	}
-	if err := st.servant.Restore(wait.pays[d]); err != nil {
+	snap, replies, replyLog, err := decodeStatePayload(wait.pays[d])
+	if err != nil {
 		return // unusable snapshot; replica stays inactive locally
 	}
+	if err := st.servant.Restore(snap); err != nil {
+		return // unusable snapshot; replica stays inactive locally
+	}
+	// Adopt the providers' retained-reply cache: the snapshot already
+	// reflects these operations' effects, and without their replies this
+	// replica could never answer a retry for them — after enough
+	// re-hostings the response vote would lose its quorum for good.
+	st.replies = replies
+	st.replyLog = replyLog
 	m.stats.StateTransfers++
 	m.met.StateTransfers.Inc()
 	// activateLocked replays the backlog accumulated during the transfer.
 	m.activateLocked(st)
 }
 
+// encodeStatePayload frames a provider's state-transfer payload: the
+// servant snapshot followed by the replica's retained-reply cache in
+// retention order. The cache is part of the group's replicated state —
+// every provider holds an identical copy (entries accrue in total
+// order), so the framed payloads still digest-match across providers.
+func encodeStatePayload(snap []byte, replies map[ids.OperationID][]byte, replyLog []ids.OperationID) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(len(snap)))
+	b = append(b, snap...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(replyLog)))
+	for _, op := range replyLog {
+		b = binary.LittleEndian.AppendUint32(b, uint32(op.ClientGroup))
+		b = binary.LittleEndian.AppendUint64(b, op.Seq)
+		r := replies[op]
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r)))
+		b = append(b, r...)
+	}
+	return b
+}
+
+// decodeStatePayload is the inverse of encodeStatePayload.
+func decodeStatePayload(payload []byte) (snap []byte, replies map[ids.OperationID][]byte, replyLog []ids.OperationID, err error) {
+	bad := errors.New("replication: truncated state payload")
+	u32 := func() (uint32, bool) {
+		if err != nil || len(payload) < 4 {
+			err = bad
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(payload)
+		payload = payload[4:]
+		return v, true
+	}
+	n, ok := u32()
+	if !ok || uint64(n) > uint64(len(payload)) {
+		return nil, nil, nil, bad
+	}
+	snap = append([]byte(nil), payload[:n]...)
+	payload = payload[n:]
+	count, ok := u32()
+	if !ok {
+		return nil, nil, nil, bad
+	}
+	replies = make(map[ids.OperationID][]byte, count)
+	replyLog = make([]ids.OperationID, 0, min(int(count), replyCacheLimit))
+	for i := uint32(0); i < count; i++ {
+		var op ids.OperationID
+		cg, ok := u32()
+		if !ok {
+			return nil, nil, nil, bad
+		}
+		op.ClientGroup = ids.ObjectGroupID(cg)
+		if len(payload) < 8 {
+			return nil, nil, nil, bad
+		}
+		op.Seq = binary.LittleEndian.Uint64(payload)
+		payload = payload[8:]
+		rn, ok := u32()
+		if !ok || uint64(rn) > uint64(len(payload)) {
+			return nil, nil, nil, bad
+		}
+		replies[op] = append([]byte(nil), payload[:rn]...)
+		payload = payload[rn:]
+		replyLog = append(replyLog, op)
+	}
+	if len(payload) != 0 {
+		return nil, nil, nil, bad
+	}
+	return snap, replies, replyLog, nil
+}
+
 // OnProcessorMembershipChange applies a processor membership install
 // without an install identifier (legacy entry point; no directory dump is
 // emitted and rejoin resynchronization is not tracked).
 func (m *Manager) OnProcessorMembershipChange(members []ids.ProcessorID) {
-	m.OnMembershipInstall(0, members)
+	m.OnMembershipInstall(0, members, false)
 }
 
 // OnMembershipInstall applies a processor membership install (§3.1): all
@@ -1041,7 +1213,14 @@ func (m *Manager) OnProcessorMembershipChange(members []ids.ProcessorID) {
 // the dump, and replays the buffer — reconstructing exactly the state the
 // continuing members hold. Continuing synced members multicast such a
 // dump at every install (installID != 0).
-func (m *Manager) OnMembershipInstall(installID uint64, members []ids.ProcessorID) {
+// behind reports that the local processor installed this membership while
+// still lagging the old ring's delivered tail (membership.Install.Behind):
+// deliveries other members applied are lost to it, so its directory and
+// every hosted server replica's state are suspect. The manager then
+// resyncs the directory from a continuing member's dump and re-admits its
+// server replicas via KindRejoin, rebuilding their state by a
+// majority-voted transfer instead of continuing silently divergent.
+func (m *Manager) OnMembershipInstall(installID uint64, members []ids.ProcessorID, behind bool) {
 	alive := make(map[ids.ProcessorID]bool, len(members))
 	for _, p := range members {
 		alive[p] = true
@@ -1059,6 +1238,10 @@ func (m *Manager) OnMembershipInstall(installID uint64, members []ids.ProcessorI
 		// restart the buffer at this install and await its dump.
 		m.syncID = installID
 		m.syncBuf = nil
+		return
+	}
+	if behind && installID != 0 {
+		m.desyncLocked(installID)
 		return
 	}
 	// Continuing synced member: drop the excluded processors' replicas,
@@ -1117,6 +1300,167 @@ func (m *Manager) resetLocked() {
 	m.notifyChangeLocked()
 }
 
+// desyncLocked handles a membership install that the local processor
+// applied while behind on the old ring's delivered tail. Unlike an
+// exclusion (resetLocked), the processor remains a member: client
+// replicas stay hosted (they carry no servant state) and in-flight
+// two-way invocations keep their waiters — the client-side retry path
+// re-multicasts them and executed replicas answer from reply retention —
+// but the directory is rebuilt from a continuing member's dump and every
+// active server replica is deactivated for re-admission behind a fresh
+// state transfer (KindRejoin), because it may have silently missed
+// decided operations that its peers executed. Caller holds m.mu.
+func (m *Manager) desyncLocked(installID uint64) {
+	m.stats.Desyncs++
+	m.met.Desyncs.Inc()
+	m.needSync = true
+	m.syncID = installID
+	m.syncBuf = nil
+	for _, st := range m.hosted {
+		if st.servant == nil || !st.active {
+			continue
+		}
+		st.active = false
+		m.takeBacklogLocked(st)
+		st.rejoin = true
+	}
+	m.notifyChangeLocked()
+}
+
+// submitRejoinsLocked multicasts a KindRejoin for every server replica
+// flagged by a desync, once the directory resync has completed. Caller
+// holds m.mu.
+func (m *Manager) submitRejoinsLocked() {
+	for _, st := range m.hosted {
+		if !st.rejoin {
+			continue
+		}
+		st.rejoin = false
+		msg := &group.Message{
+			Kind:    group.KindRejoin,
+			Dest:    ids.BaseGroup,
+			Member:  st.id,
+			Target:  st.id.Group,
+			Payload: []byte{1},
+		}
+		_ = m.stack.Submit(msg.Marshal())
+	}
+}
+
+// handleRejoin re-admits a server replica whose processor fell behind the
+// old ring before a membership install: at this total-order position the
+// replica leaves the group's active membership and immediately rejoins as
+// a fresh joiner, taking a majority-voted state transfer from the
+// remaining active replicas. The hosting manager keeps its local replica
+// (inactive) across the transition, so handles stay valid and the
+// restored state lands in place.
+func (m *Manager) handleRejoin(msg *group.Message) {
+	r := msg.Member
+	if !m.dir.Contains(r) {
+		return // unknown or already departed
+	}
+	if mi := m.members[r]; mi != nil && !mi.server {
+		return // client replicas carry no state; nothing to rebuild
+	}
+
+	// Leave: drop the replica from voting and state-transfer machinery —
+	// mirroring removeReplicaLocked except that a local hosted replica
+	// stays registered, inactive, awaiting its transfer.
+	m.dir.Leave(r)
+	delete(m.members, r)
+	delete(m.pending, r)
+	m.invVoter.DropSender(r)
+	m.respVoter.DropSender(r)
+	for joiner, w := range m.pending {
+		if !w.providers[r] {
+			continue
+		}
+		delete(w.providers, r)
+		delete(w.got, r)
+		w.need = group.Majority(len(w.providers))
+		if len(w.providers) == 0 {
+			delete(m.pending, joiner)
+			if mi := m.members[joiner]; mi != nil {
+				mi.active = true
+			}
+			if st, ok := m.hosted[joiner.Group]; ok && joiner.Processor == m.self {
+				m.activateLocked(st)
+			} else {
+				m.notifyChangeLocked()
+			}
+		}
+	}
+
+	// Rejoin: the remaining active server replicas are the providers.
+	var providers []ids.ReplicaID
+	for _, p := range m.dir.Members(r.Group) {
+		if mi := m.members[p]; mi != nil && mi.server && mi.active {
+			providers = append(providers, p)
+		}
+	}
+	m.dir.Join(r)
+	if size := m.dir.Size(r.Group); size > m.degreeHW[r.Group] {
+		m.degreeHW[r.Group] = size
+	}
+	m.joinSeq[r.Group]++
+	marker := m.joinSeq[r.Group]
+	mi := &memberInfo{server: true}
+	m.members[r] = mi
+
+	st, local := m.hosted[r.Group]
+	localJoiner := local && r.Processor == m.self
+	if localJoiner {
+		st.active = false
+	}
+
+	if len(providers) == 0 {
+		// No peer survived with trusted state: the rejoiner becomes the
+		// group's first replica again, keeping whatever state it has —
+		// there is no better copy to restore from.
+		mi.active = true
+		if localJoiner {
+			m.activateLocked(st)
+		} else {
+			m.notifyChangeLocked()
+		}
+		m.recheckLocked()
+		return
+	}
+
+	wait := &stateWait{
+		group:     r.Group,
+		marker:    marker,
+		providers: make(map[ids.ReplicaID]bool, len(providers)),
+		need:      group.Majority(len(providers)),
+		got:       make(map[ids.ReplicaID]bool),
+		counts:    make(map[[sec.DigestSize]byte]int),
+		pays:      make(map[[sec.DigestSize]byte][]byte),
+	}
+	for _, p := range providers {
+		wait.providers[p] = true
+	}
+	m.pending[r] = wait
+	if localJoiner {
+		st.needState = true
+		// Anything backlogged before this position is covered by the
+		// providers' snapshots, captured exactly here; replaying it after
+		// Restore would double-apply.
+		m.takeBacklogLocked(st)
+	}
+	if local && st.active && st.servant != nil && !localJoiner {
+		state := &group.Message{
+			Kind:    group.KindState,
+			Dest:    r.Group,
+			Target:  r.Group,
+			Op:      ids.OperationID{Seq: marker},
+			Sender:  st.id,
+			Payload: encodeStatePayload(st.servant.Snapshot(), st.replies, st.replyLog),
+		}
+		_ = m.stack.Submit(state.Marshal())
+	}
+	m.recheckLocked()
+}
+
 // bufferOrSyncLocked handles one delivery while the manager awaits a
 // directory dump. A matching dump is applied and the buffered tail
 // replayed; any other delivery is buffered. Caller holds m.mu.
@@ -1136,6 +1480,7 @@ func (m *Manager) bufferOrSyncLocked(msg *group.Message) {
 				m.applyLocked(b)
 			}
 		}
+		m.submitRejoinsLocked()
 		m.notifyChangeLocked()
 		return
 	}

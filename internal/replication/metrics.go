@@ -8,6 +8,9 @@ import "immune/internal/obs"
 type Metrics struct {
 	InvocationsSent    *obs.Counter
 	ResponsesSent      *obs.Counter
+	// ResponsesResent counts retained replies re-sent for invocation
+	// retries (at-most-once reply retention, not re-execution).
+	ResponsesResent *obs.Counter
 	InvocationsDecided *obs.Counter
 	ResponsesDecided   *obs.Counter
 	// Duplicates counts copies suppressed after decisions (§5.1).
@@ -24,6 +27,10 @@ type Metrics struct {
 	// BacklogShed counts voted invocations dropped from inactive-replica
 	// backlogs by the cap or the TTL.
 	BacklogShed *obs.Counter
+	// Desyncs counts installs this processor applied while behind on the
+	// old ring's delivered tail, each forcing a directory resync and a
+	// state-refreshing rejoin of every hosted server replica.
+	Desyncs *obs.Counter
 	// Backlog gauges the aggregate backlog depth across hosted replicas
 	// (delta-updated, so managers sharing a registry sum correctly).
 	Backlog *obs.Gauge
@@ -40,6 +47,7 @@ func MetricsFrom(reg *obs.Registry) Metrics {
 	return Metrics{
 		InvocationsSent:    reg.Counter("rm.invocations_sent"),
 		ResponsesSent:      reg.Counter("rm.responses_sent"),
+		ResponsesResent:    reg.Counter("rm.responses_resent"),
 		InvocationsDecided: reg.Counter("rm.invocations_decided"),
 		ResponsesDecided:   reg.Counter("rm.responses_decided"),
 		Duplicates:         reg.Counter("rm.duplicates_discarded"),
@@ -48,6 +56,7 @@ func MetricsFrom(reg *obs.Registry) Metrics {
 		StateTransfers:     reg.Counter("rm.state_transfers"),
 		OverloadRejects:    reg.Counter("rm.overload_rejects"),
 		BacklogShed:        reg.Counter("rm.backlog_shed"),
+		Desyncs:            reg.Counter("rm.desyncs"),
 		Backlog:            reg.Gauge("rm.backlog"),
 		InFlight:           reg.Gauge("rm.inflight"),
 	}

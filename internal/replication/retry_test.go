@@ -1,0 +1,228 @@
+package replication
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"immune/internal/group"
+	"immune/internal/ids"
+	"immune/internal/iiop"
+)
+
+// retryRig builds one manager on P2 whose server replica is active (it is
+// the group's first server replica) and registers P1's degree-1 client
+// replica, so invocations submitted from P1 decide with a single copy.
+func retryRig(t *testing.T) (*bus, *Manager) {
+	t.Helper()
+	b := newBus()
+	m, err := NewManager(Config{
+		Stack:       &busStack{b: b, self: 2},
+		Processors:  2,
+		CallTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.attach(m)
+	go b.run()
+	t.Cleanup(b.stop)
+
+	h, err := m.HostReplica(serverG, "echo-server", &echoServant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := &busStack{b: b, self: 1}
+	join := &group.Message{Kind: group.KindJoin, Dest: ids.BaseGroup,
+		Member: ids.ReplicaID{Group: clientG, Processor: 1}, Target: clientG, Payload: []byte{0}}
+	if err := remote.Submit(join.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+	if err := h.WaitActive(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return b, m
+}
+
+func invocationMsg(kind group.Kind, seq uint64) *group.Message {
+	req := &iiop.Request{RequestID: 1, ResponseExpected: true,
+		ObjectKey: []byte("echo-server"), Operation: "echo", Body: []byte("x")}
+	return &group.Message{Kind: kind, Dest: serverG,
+		Op:      ids.OperationID{ClientGroup: clientG, Seq: seq},
+		Sender:  ids.ReplicaID{Group: clientG, Processor: 1},
+		Payload: req.Marshal(),
+	}
+}
+
+// TestRetryResendsRetainedReply: a KindInvocationRetry for an operation
+// the replica already executed is answered from the retained-reply cache
+// — no re-execution, one extra response copy — so a response lost in
+// transit cannot wedge the call for its full deadline.
+func TestRetryResendsRetainedReply(t *testing.T) {
+	b, m := retryRig(t)
+	remote := &busStack{b: b, self: 1}
+
+	if err := remote.Submit(invocationMsg(group.KindInvocation, 1).Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+	if st := m.Stats(); st.ResponsesSent != 1 || st.ResponsesResent != 0 {
+		t.Fatalf("after invocation: ResponsesSent=%d ResponsesResent=%d, want 1, 0",
+			st.ResponsesSent, st.ResponsesResent)
+	}
+
+	// The client's re-send: same operation, retry kind.
+	if err := remote.Submit(invocationMsg(group.KindInvocationRetry, 1).Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+	st := m.Stats()
+	if st.ResponsesResent != 1 {
+		t.Fatalf("after retry: ResponsesResent = %d, want 1", st.ResponsesResent)
+	}
+	if st.ResponsesSent != 1 {
+		t.Fatalf("after retry: ResponsesSent = %d, want 1 (no re-execution)", st.ResponsesSent)
+	}
+
+	// A plain duplicate copy (not a retry) stays a silent discard.
+	if err := remote.Submit(invocationMsg(group.KindInvocation, 1).Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+	if st := m.Stats(); st.ResponsesResent != 1 {
+		t.Fatalf("after duplicate: ResponsesResent = %d, want 1", st.ResponsesResent)
+	}
+
+	// A retry for an operation never seen contributes a first vote (the
+	// original copy may have been the lost frame) and executes normally.
+	if err := remote.Submit(invocationMsg(group.KindInvocationRetry, 2).Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+	if st := m.Stats(); st.ResponsesSent != 2 || st.ResponsesResent != 1 {
+		t.Fatalf("retry-as-first-copy: ResponsesSent=%d ResponsesResent=%d, want 2, 1",
+			st.ResponsesSent, st.ResponsesResent)
+	}
+}
+
+// TestStateTransferCarriesReplyCache: a replica joining after operations
+// have executed receives the providers' retained-reply cache with the
+// snapshot, so it too can answer retries for operations that predate it —
+// otherwise every re-hosting would shrink the set of replicas able to
+// rebuild a response quorum.
+func TestStateTransferCarriesReplyCache(t *testing.T) {
+	b := newBus()
+	var managers []*Manager
+	for i := 1; i <= 3; i++ {
+		m, err := NewManager(Config{
+			Stack:      &busStack{b: b, self: ids.ProcessorID(i)},
+			Processors: 3, CallTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.attach(m)
+		managers = append(managers, m)
+	}
+	go b.run()
+	t.Cleanup(b.stop)
+
+	h1, err := managers[0].HostReplica(serverG, "echo-server", &echoServant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := managers[1].HostReplica(serverG, "echo-server", &echoServant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := managers[0].HostReplica(clientG, "c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+	for _, h := range []*Handle{h1, h2, client} {
+		if err := h.WaitActive(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	req := &iiop.Request{RequestID: 1, ResponseExpected: true,
+		ObjectKey: []byte("echo-server"), Operation: "echo", Body: []byte("hello")}
+	reply, err := client.Invoke(serverG, req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+
+	// P3 joins the server group and receives majority-voted state.
+	h3, err := managers[2].HostReplica(serverG, "echo-server", &echoServant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.settle(t)
+	if err := h3.WaitActive(5 * time.Second); err != nil {
+		t.Fatalf("joined replica never activated: %v", err)
+	}
+
+	op := ids.OperationID{ClientGroup: clientG, Seq: 1}
+	m3 := managers[2]
+	m3.mu.Lock()
+	st := m3.hosted[serverG]
+	var cached []byte
+	if st != nil {
+		cached = st.replies[op]
+	}
+	m3.mu.Unlock()
+	if cached == nil {
+		t.Fatal("joined replica has no retained reply for the pre-join operation")
+	}
+	if !bytes.Equal(cached, reply) {
+		t.Fatalf("transferred reply differs from the voted reply")
+	}
+}
+
+// TestStatePayloadRoundTrip: the state-transfer framing (snapshot +
+// retained replies) survives encode/decode and rejects truncations.
+func TestStatePayloadRoundTrip(t *testing.T) {
+	ops := []ids.OperationID{
+		{ClientGroup: 9, Seq: 1},
+		{ClientGroup: 9, Seq: 2},
+	}
+	replies := map[ids.OperationID][]byte{
+		ops[0]: []byte("alpha"),
+		ops[1]: {},
+	}
+	snap := []byte{1, 2, 3, 4}
+	enc := encodeStatePayload(snap, replies, ops)
+
+	gotSnap, gotReplies, gotLog, err := decodeStatePayload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotSnap, snap) {
+		t.Fatalf("snapshot %v, want %v", gotSnap, snap)
+	}
+	if len(gotLog) != 2 || gotLog[0] != ops[0] || gotLog[1] != ops[1] {
+		t.Fatalf("reply log %v, want %v", gotLog, ops)
+	}
+	if !bytes.Equal(gotReplies[ops[0]], []byte("alpha")) || len(gotReplies[ops[1]]) != 0 {
+		t.Fatalf("replies %v", gotReplies)
+	}
+
+	// Empty cache round-trips too.
+	enc = encodeStatePayload(snap, nil, nil)
+	gotSnap, gotReplies, gotLog, err = decodeStatePayload(enc)
+	if err != nil || !bytes.Equal(gotSnap, snap) || len(gotReplies) != 0 || len(gotLog) != 0 {
+		t.Fatalf("empty-cache round trip: %v %v %v %v", gotSnap, gotReplies, gotLog, err)
+	}
+
+	// Every truncation of a valid encoding must error, not panic or
+	// mis-parse.
+	full := encodeStatePayload(snap, replies, ops)
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, _, err := decodeStatePayload(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+
+	"immune"
+)
+
+// Catalog returns the named starter scenarios. Together they cover every
+// Table 1 fault class: message loss, corruption, duplication, and delay
+// (steady-state, cascade), send/receive omission via partition
+// (partition-heal), processor crash (crash-recover, cascade), value-faulty
+// replicas (byzantine-burst, cascade) — plus the overload regime the paper
+// never measured (overload-shed).
+//
+// Durations and rates are sized for CI: each scenario deploys a full
+// system, drives a few seconds of open-loop load, and drains. Latency
+// SLOs are regression tripwires with headroom for slow shared runners,
+// not performance targets; delivery/shedding/recovery assertions are the
+// strict part.
+func Catalog() []Scenario {
+	return []Scenario{
+		{
+			Name: "steady-state",
+			Description: "Poisson load over the paper's unreliable LAN — constant low-grade " +
+				"loss, corruption, duplication, and delay, all masked by retransmission " +
+				"and digests; everything sent must be delivered",
+			Seed:   101,
+			Groups: 2,
+			// Lossy-but-healthy steady state: the fault detector must not
+			// mistake link faults for processor faults. The liveness
+			// timeout sits well above loss-induced delivery jitter, and
+			// the strike threshold is raised so sustained wire corruption
+			// (digest mismatches attributed to innocent senders) never
+			// accumulates into a Byzantine suspicion.
+			SuspectTimeout:  time.Second,
+			StrikeThreshold: 1 << 20,
+			Duration:        2 * time.Second,
+			Load: immune.PacketSourceConfig{
+				Rate: 250, Process: immune.PoissonArrivals, PayloadSize: 16,
+			},
+			Schedule: Schedule{Steps: []Step{
+				{Kind: StepLoss, At: 0, For: 2 * time.Second, P: 0.02},
+				{Kind: StepCorrupt, At: 0, For: 2 * time.Second, P: 0.01},
+				{Kind: StepDuplicate, At: 0, For: 2 * time.Second, P: 0.02},
+				{Kind: StepDelay, At: 0, For: 2 * time.Second, MaxDelay: 2 * time.Millisecond},
+			}},
+			SLO: SLO{
+				MinDeliveredFrac: 0.999,
+				MaxP50:           1 * time.Second,
+				MaxP99:           4 * time.Second,
+				MaxP999:          7 * time.Second,
+			},
+		},
+		{
+			Name: "overload-shed",
+			Description: "heavy-tailed (Pareto) arrivals far beyond ring capacity against " +
+				"tight admission bounds — the system must shed with ErrOverloaded and keep " +
+				"serving, not collapse",
+			Seed:           102,
+			Level:          immune.LevelDigests,
+			MaxInFlight:    4,
+			MaxSubmitQueue: 96,
+			MaxBacklog:     128,
+			Duration:       1500 * time.Millisecond,
+			Load: immune.PacketSourceConfig{
+				Rate: 4000, Process: immune.ParetoArrivals, PayloadSize: 16,
+			},
+			SLO: SLO{
+				RequireShed:      true,
+				MaxShedFrac:      1.0,
+				MinDeliveredFrac: 0.01,
+				MaxErrorFrac:     0.01,
+			},
+		},
+		{
+			Name: "crash-recover",
+			Description: "a server-hosting processor crashes mid-load; the survivors exclude " +
+				"it, voting continues on the remaining majority, and the recovery manager " +
+				"re-hosts the lost replica with transferred state",
+			Seed:        103,
+			AutoRecover: true,
+			// Generous liveness timeout: on a loaded 1-CPU runner the
+			// signature workload can starve an innocent processor's event
+			// loop for hundreds of milliseconds, and a spurious exclusion
+			// of a client host would read as mass invocation timeouts.
+			// The real crash is still excluded ~1s after it happens, well
+			// inside the drain window.
+			SuspectTimeout: time.Second,
+			Duration:       2500 * time.Millisecond,
+			Load: immune.PacketSourceConfig{
+				Rate: 200, Process: immune.PoissonArrivals, PayloadSize: 16,
+			},
+			Schedule: Schedule{Steps: []Step{
+				{Kind: StepCrash, At: 800 * time.Millisecond, Processors: []immune.ProcessorID{3}},
+			}},
+			SLO: SLO{
+				RequireRecovered: true,
+				MinDeliveredFrac: 0.90,
+				MaxErrorFrac:     0.05,
+				MaxP999:          8 * time.Second,
+			},
+		},
+		{
+			Name: "partition-heal",
+			Description: "a server host is partitioned off by total frame loss (send + " +
+				"receive omission) for a window, then the partition heals and the processor " +
+				"rejoins; load is served throughout on the surviving majority",
+			Seed:     104,
+			Groups:   2,
+			Duration: 2500 * time.Millisecond,
+			Load: immune.PacketSourceConfig{
+				Rate: 200, Process: immune.PoissonArrivals, PayloadSize: 16,
+			},
+			Schedule: Schedule{Steps: []Step{
+				{Kind: StepPartition, At: 800 * time.Millisecond, For: 800 * time.Millisecond,
+					Processors: []immune.ProcessorID{3}},
+			}},
+			SLO: SLO{
+				MinDeliveredFrac: 0.90,
+				MaxErrorFrac:     0.05,
+				MaxP999:          8 * time.Second,
+			},
+		},
+		{
+			Name: "byzantine-burst",
+			Description: "the server replicas on one processor lie for a window; majority " +
+				"voting masks every wrong value and the value fault detector must flag " +
+				"the liar",
+			Seed:     105,
+			Duration: 2 * time.Second,
+			Load: immune.PacketSourceConfig{
+				Rate: 250, Process: immune.PoissonArrivals, PayloadSize: 16,
+			},
+			Schedule: Schedule{Steps: []Step{
+				{Kind: StepByzantine, At: 500 * time.Millisecond, For: time.Second,
+					Processors: []immune.ProcessorID{2}},
+			}},
+			SLO: SLO{
+				RequireValueFaults: true,
+				MinDeliveredFrac:   0.95,
+				MaxErrorFrac:       0.02,
+				MaxP999:            8 * time.Second,
+			},
+		},
+		{
+			Name: "cascade",
+			Description: "compound assault: overlapping loss, duplication, corruption, and " +
+				"delay bursts, a Byzantine window, then a processor crash — with " +
+				"auto-recovery re-hosting whatever is lost",
+			Seed:        106,
+			Groups:      2,
+			AutoRecover: true,
+			// Link-level corruption and loss must not read as processor
+			// misbehaviour (strikes) or death (liveness): the crash and
+			// the lying replica are the only faults that may be excluded.
+			// Value-fault verdicts suspect immediately regardless of the
+			// strike threshold, so Byzantine detection is unimpaired.
+			SuspectTimeout:  time.Second,
+			StrikeThreshold: 1 << 20,
+			// The storm can lose a lone replica's response while the dead
+			// member still blocks ring stability; recovery then rides on
+			// the invocation retries (reply retention answers them). A
+			// moderate deadline keeps the per-attempt retry windows — the
+			// deadline is split evenly across attempts — short enough
+			// that retried calls still land inside the latency SLO.
+			CallTimeout: 6 * time.Second,
+			Duration:    3 * time.Second,
+			Load: immune.PacketSourceConfig{
+				Rate: 250, Process: immune.ParetoArrivals, PayloadSize: 16, PayloadSpread: 48,
+			},
+			Schedule: Schedule{Steps: []Step{
+				{Kind: StepLoss, At: 400 * time.Millisecond, For: 800 * time.Millisecond, P: 0.10},
+				{Kind: StepDuplicate, At: 600 * time.Millisecond, For: 800 * time.Millisecond, P: 0.08},
+				{Kind: StepCorrupt, At: 800 * time.Millisecond, For: 800 * time.Millisecond, P: 0.04},
+				{Kind: StepDelay, At: time.Second, For: 800 * time.Millisecond, MaxDelay: 3 * time.Millisecond},
+				{Kind: StepByzantine, At: 1200 * time.Millisecond, For: 700 * time.Millisecond,
+					Processors: []immune.ProcessorID{2}},
+				{Kind: StepCrash, At: 2200 * time.Millisecond, Processors: []immune.ProcessorID{3}},
+			}},
+			SLO: SLO{
+				RequireValueFaults: true,
+				RequireRecovered:   true,
+				MinDeliveredFrac:   0.85,
+				MaxErrorFrac:       0.10,
+				// Open-loop latency counts from intended arrival: a call
+				// wedged behind the crash waits out the race-scaled
+				// liveness window (3x suspect timeout) before its retry
+				// can decide, so the tail ceiling leaves room for a full
+				// exclusion cycle on an overloaded runner.
+				MaxP999: 12 * time.Second,
+			},
+		},
+	}
+}
+
+// Names lists the catalog scenario names, sorted.
+func Names() []string {
+	var out []string
+	for _, s := range Catalog() {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup finds a catalog scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"sync"
+	"time"
+
+	"immune/internal/ids"
+	"immune/internal/netsim"
+	"immune/internal/sec"
+)
+
+// Plan is a netsim.FaultPlan driven by a schedule's network-level steps:
+// each frame is judged against the steps whose windows cover the elapsed
+// time since Start. Before Start (i.e. during deployment) every frame is
+// delivered fault-free, so scenario setup never races its own chaos.
+//
+// Judgement order mirrors netsim.Chain: partitions first (a partitioned
+// frame is gone regardless of other faults), then loss, corruption, and
+// duplication rolls in schedule order, with delay windows accumulating
+// into the extra-delay result.
+type Plan struct {
+	steps []Step
+	rng   *sec.SeededRand
+
+	mu    sync.Mutex
+	start time.Time
+	now   func() time.Time // injectable clock for tests
+}
+
+var _ netsim.FaultPlan = (*Plan)(nil)
+
+// NewPlan builds a plan over the schedule's network-level steps. The seed
+// drives every probabilistic roll, independently of the system seed.
+func NewPlan(s Schedule, seed uint64) *Plan {
+	p := &Plan{rng: sec.NewSeededRand(seed), now: time.Now}
+	for _, st := range s.Steps {
+		if st.Kind.network() {
+			p.steps = append(p.steps, st)
+		}
+	}
+	return p
+}
+
+// Start anchors the schedule clock: offsets in the schedule are measured
+// from this call.
+func (p *Plan) Start() {
+	p.mu.Lock()
+	p.start = p.now()
+	p.mu.Unlock()
+}
+
+// elapsed returns the offset into the schedule, or -1 before Start.
+func (p *Plan) elapsed() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.start.IsZero() {
+		return -1
+	}
+	return p.now().Sub(p.start)
+}
+
+// roll draws a uniform float64 in [0, 1).
+func (p *Plan) roll() float64 {
+	return float64(p.rng.Uint64()>>11) / float64(1<<53)
+}
+
+// Judge implements netsim.FaultPlan.
+func (p *Plan) Judge(f netsim.Frame, receiver ids.ProcessorID) (netsim.Verdict, time.Duration) {
+	elapsed := p.elapsed()
+	if elapsed < 0 {
+		return netsim.Deliver, 0
+	}
+	var extra time.Duration
+	verdict := netsim.Deliver
+	for _, st := range p.steps {
+		if !st.active(elapsed) {
+			continue
+		}
+		switch st.Kind {
+		case StepPartition:
+			fromIn, toIn := false, false
+			for _, pid := range st.Processors {
+				if pid == f.From {
+					fromIn = true
+				}
+				if pid == receiver {
+					toIn = true
+				}
+			}
+			if fromIn != toIn {
+				return netsim.Drop, 0
+			}
+		case StepDelay:
+			extra += time.Duration(p.rng.Int63n(int64(st.MaxDelay)))
+		case StepLoss:
+			if verdict == netsim.Deliver && p.roll() < st.P {
+				verdict = netsim.Drop
+			}
+		case StepCorrupt:
+			if verdict == netsim.Deliver && p.roll() < st.P {
+				verdict = netsim.Corrupt
+			}
+		case StepDuplicate:
+			if verdict == netsim.Deliver && p.roll() < st.P {
+				verdict = netsim.Duplicate
+			}
+		}
+	}
+	if verdict == netsim.Drop {
+		return netsim.Drop, 0
+	}
+	return verdict, extra
+}

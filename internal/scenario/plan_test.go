@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"immune"
+	"immune/internal/netsim"
+)
+
+// planAt builds a plan over the schedule and advances its injected clock to
+// the given offset past Start.
+func planAt(s Schedule, seed uint64, offset time.Duration) *Plan {
+	p := NewPlan(s, seed)
+	base := time.Unix(1e9, 0)
+	clock := base
+	p.now = func() time.Time { return clock }
+	p.Start()
+	clock = base.Add(offset)
+	return p
+}
+
+func frame(from immune.ProcessorID) netsim.Frame {
+	return netsim.Frame{From: from, To: netsim.Broadcast, Payload: []byte{1, 2, 3}}
+}
+
+func TestPlanDeliversBeforeStart(t *testing.T) {
+	// Even a certain-loss step must not fire before Start anchors the
+	// clock: deployment traffic is fault-free by contract.
+	p := NewPlan(Schedule{Steps: []Step{
+		{Kind: StepLoss, At: 0, For: time.Hour, P: 1},
+	}}, 1)
+	if v, _ := p.Judge(frame(1), 2); v != netsim.Deliver {
+		t.Fatalf("pre-Start verdict = %v, want deliver", v)
+	}
+}
+
+func TestPlanWindows(t *testing.T) {
+	s := Schedule{Steps: []Step{
+		{Kind: StepLoss, At: time.Second, For: time.Second, P: 1},
+	}}
+	if v, _ := planAt(s, 1, 500*time.Millisecond).Judge(frame(1), 2); v != netsim.Deliver {
+		t.Errorf("before window: got %v, want deliver", v)
+	}
+	if v, _ := planAt(s, 1, 1500*time.Millisecond).Judge(frame(1), 2); v != netsim.Drop {
+		t.Errorf("inside window: got %v, want drop", v)
+	}
+	if v, _ := planAt(s, 1, 2500*time.Millisecond).Judge(frame(1), 2); v != netsim.Deliver {
+		t.Errorf("after window: got %v, want deliver", v)
+	}
+}
+
+func TestPlanVerdictKinds(t *testing.T) {
+	mk := func(kind StepKind) *Plan {
+		return planAt(Schedule{Steps: []Step{
+			{Kind: kind, At: 0, For: time.Hour, P: 1},
+		}}, 7, time.Minute)
+	}
+	if v, _ := mk(StepCorrupt).Judge(frame(1), 2); v != netsim.Corrupt {
+		t.Errorf("corrupt step: got %v", v)
+	}
+	if v, _ := mk(StepDuplicate).Judge(frame(1), 2); v != netsim.Duplicate {
+		t.Errorf("duplicate step: got %v", v)
+	}
+}
+
+func TestPlanDelayAccumulates(t *testing.T) {
+	p := planAt(Schedule{Steps: []Step{
+		{Kind: StepDelay, At: 0, For: time.Hour, MaxDelay: 2 * time.Millisecond},
+		{Kind: StepDelay, At: 0, For: time.Hour, MaxDelay: 3 * time.Millisecond},
+	}}, 9, time.Minute)
+	sawExtra := false
+	for i := 0; i < 64; i++ {
+		v, extra := p.Judge(frame(1), 2)
+		if v != netsim.Deliver {
+			t.Fatalf("delay step changed the verdict: %v", v)
+		}
+		if extra < 0 || extra >= 5*time.Millisecond {
+			t.Fatalf("extra delay %v outside [0, 5ms)", extra)
+		}
+		if extra > 0 {
+			sawExtra = true
+		}
+	}
+	if !sawExtra {
+		t.Fatal("no frame ever received extra delay")
+	}
+}
+
+func TestPlanPartition(t *testing.T) {
+	p := planAt(Schedule{Steps: []Step{
+		{Kind: StepPartition, At: 0, For: time.Hour, Processors: []immune.ProcessorID{3}},
+	}}, 11, time.Minute)
+	cases := []struct {
+		from, to immune.ProcessorID
+		want     netsim.Verdict
+	}{
+		{1, 2, netsim.Deliver}, // both outside
+		{3, 3, netsim.Deliver}, // both inside
+		{1, 3, netsim.Drop},    // receive omission at the boundary
+		{3, 1, netsim.Drop},    // send omission at the boundary
+	}
+	for _, c := range cases {
+		if v, _ := p.Judge(frame(c.from), c.to); v != c.want {
+			t.Errorf("%v->%v: got %v, want %v", c.from, c.to, v, c.want)
+		}
+	}
+}
+
+func TestPlanLossIsProbabilistic(t *testing.T) {
+	p := planAt(Schedule{Steps: []Step{
+		{Kind: StepLoss, At: 0, For: time.Hour, P: 0.5},
+	}}, 13, time.Minute)
+	drops := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if v, _ := p.Judge(frame(1), 2); v == netsim.Drop {
+			drops++
+		}
+	}
+	if drops < n/3 || drops > 2*n/3 {
+		t.Fatalf("P=0.5 loss dropped %d/%d frames", drops, n)
+	}
+}

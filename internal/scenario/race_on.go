@@ -1,0 +1,10 @@
+//go:build race
+
+package scenario
+
+// raceEnabled reports whether the race detector instruments this build.
+// Chaos load is scaled down under it (see withDefaults): the detector
+// slows the simulated processors roughly an order of magnitude, and the
+// scenarios are meant to measure protocol behaviour, not instrumentation
+// overhead.
+const raceEnabled = true

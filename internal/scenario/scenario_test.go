@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"immune"
+)
+
+// TestCatalogScenarios runs every named catalog scenario under its fixed
+// seed and asserts its SLO holds — the chaos regression suite. Each
+// scenario covers part of Table 1 (loss, corruption, duplication, delay,
+// partition/omission, crash, value faults); together they cover all of it.
+func TestCatalogScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenarios are several seconds each; skipped in -short")
+	}
+	for _, s := range Catalog() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			res, err := Run(s)
+			if err != nil {
+				t.Fatalf("run failed: %v", err)
+			}
+			t.Logf("sent=%d delivered=%d shed=%d errors=%d (%v) abandoned=%d recovered=%d value_faults=%d p50=%v p99=%v p999=%v",
+				res.Sent, res.Delivered, res.Shed, res.Errors, res.ErrorKinds,
+				res.Abandoned, res.Recovered, res.ValueFaults, res.P50, res.P99, res.P999)
+			for _, v := range res.Violations {
+				t.Errorf("SLO violation: %s", v)
+			}
+		})
+	}
+}
+
+// determinismScenario is a small, benign chaos scenario used to pin the
+// replayability contract: link faults only, tolerant detector settings, so
+// every arrival is delivered on any healthy run.
+func determinismScenario() Scenario {
+	return Scenario{
+		Name:            "determinism-probe",
+		Seed:            4242,
+		Groups:          2,
+		SuspectTimeout:  time.Second,
+		StrikeThreshold: 1 << 20,
+		CallTimeout:     6 * time.Second,
+		Duration:        time.Second,
+		Load: immune.PacketSourceConfig{
+			Rate: 150, Process: immune.ParetoArrivals, PayloadSize: 16, PayloadSpread: 16,
+		},
+		Schedule: Schedule{Steps: []Step{
+			{Kind: StepLoss, At: 100 * time.Millisecond, For: 600 * time.Millisecond, P: 0.05},
+			{Kind: StepDuplicate, At: 200 * time.Millisecond, For: 500 * time.Millisecond, P: 0.05},
+			{Kind: StepDelay, At: 0, For: time.Second, MaxDelay: time.Millisecond},
+		}},
+		SLO: SLO{MinDeliveredFrac: 1.0},
+	}
+}
+
+// TestScenarioDeterminism runs the same scenario+seed twice and asserts the
+// replayability contract: identical arrival schedules, identical
+// fault-event sequences, and identical delivered-invocation counts.
+func TestScenarioDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full scenario twice; skipped in -short")
+	}
+	s := determinismScenario()
+	first, err := Run(s)
+	if err != nil {
+		t.Fatalf("first run failed: %v", err)
+	}
+	second, err := Run(s)
+	if err != nil {
+		t.Fatalf("second run failed: %v", err)
+	}
+	for _, r := range []*Result{first, second} {
+		if !r.Passed() {
+			t.Fatalf("probe run violated its SLO (delivered %d/%d): %v",
+				r.Delivered, r.Sent, r.Violations)
+		}
+	}
+	if first.Sent != second.Sent {
+		t.Errorf("arrival schedule not deterministic: %d vs %d arrivals", first.Sent, second.Sent)
+	}
+	if first.Delivered != second.Delivered {
+		t.Errorf("delivered counts differ: %d vs %d", first.Delivered, second.Delivered)
+	}
+	if len(first.Events) != len(second.Events) {
+		t.Fatalf("fault-event sequences differ in length: %d vs %d",
+			len(first.Events), len(second.Events))
+	}
+	for i := range first.Events {
+		if first.Events[i] != second.Events[i] {
+			t.Errorf("fault event %d differs: %+v vs %+v", i, first.Events[i], second.Events[i])
+		}
+	}
+}
+
+// TestScenarioArrivalScheduleDeterminism checks the cheap half of the
+// contract without deploying a system: the open-loop arrival schedule is a
+// pure function of (config, seed).
+func TestScenarioArrivalScheduleDeterminism(t *testing.T) {
+	s := determinismScenario().withDefaults()
+	cfg := s.Load
+	cfg.Seed = s.Seed
+	cfg.Groups = s.Groups
+	a := immune.NewPacketSource(cfg).TakeUntil(s.Duration)
+	b := immune.NewPacketSource(cfg).TakeUntil(s.Duration)
+	if len(a) != len(b) {
+		t.Fatalf("arrival counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Group != b[i].Group || len(a[i].Payload) != len(b[i].Payload) {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestScenarioValidate pins the deployment-shape checks.
+func TestScenarioValidate(t *testing.T) {
+	ok := determinismScenario()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	noName := ok
+	noName.Name = ""
+	if err := noName.Validate(); err == nil {
+		t.Error("nameless scenario accepted")
+	}
+	noClients := ok
+	noClients.Processors = 3
+	noClients.ServerProcs = 3
+	if err := noClients.Validate(); err == nil {
+		t.Error("scenario with no client processors accepted")
+	}
+	tooWide := ok
+	tooWide.Degree = 5
+	tooWide.ServerProcs = 3
+	tooWide.Processors = 6
+	if err := tooWide.Validate(); err == nil {
+		t.Error("degree above server hosts accepted")
+	}
+	noRate := ok
+	noRate.Load.Rate = 0
+	if err := noRate.Validate(); err == nil {
+		t.Error("zero-rate load accepted")
+	}
+}

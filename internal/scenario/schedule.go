@@ -1,0 +1,200 @@
+// Package scenario is the Immune system's open-loop scenario engine: it
+// composes deterministic open-loop traffic (PacketSource populations over
+// many object groups) with declarative fault schedules covering every
+// Table 1 fault class, and evaluates per-scenario latency/delivery SLOs
+// from the internal/obs histograms. The paper's §8 evaluation is a single
+// closed-loop packet driver; the survivable-systems case-study method
+// (CMU/SEI) instead enumerates intrusion/fault scenarios and replays them
+// against the architecture — this package makes those scenarios seeded,
+// replayable, and CI-checkable.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"immune"
+)
+
+// StepKind names one fault action of a schedule. Network-level kinds
+// (loss, corrupt, duplicate, delay, partition) are applied by a
+// netsim.FaultPlan over the step's [At, At+For) window; system-level kinds
+// (crash, restart, byzantine) are executed by the engine's timeline.
+type StepKind string
+
+const (
+	// StepLoss drops each frame with probability P (Table 1: message loss).
+	StepLoss StepKind = "loss"
+	// StepCorrupt flips payload bits with probability P (Table 1: message
+	// corruption in transit).
+	StepCorrupt StepKind = "corrupt"
+	// StepDuplicate delivers each frame twice with probability P (Table 1:
+	// message duplication).
+	StepDuplicate StepKind = "duplicate"
+	// StepDelay adds a uniform extra delay in [0, MaxDelay) to every frame
+	// (Table 1: arbitrary message delay).
+	StepDelay StepKind = "delay"
+	// StepPartition isolates Processors from the rest of the LAN by
+	// dropping every frame that crosses the boundary — simultaneous send
+	// and receive omission (Table 1) for the whole set, healing when the
+	// window closes.
+	StepPartition StepKind = "partition"
+	// StepCrash detaches Processors from the network at At (Table 1:
+	// processor crash). Instantaneous; For is ignored.
+	StepCrash StepKind = "crash"
+	// StepRestart reattaches previously crashed Processors at At
+	// (repair/rejoin). Instantaneous; For is ignored.
+	StepRestart StepKind = "restart"
+	// StepByzantine makes the server replicas hosted on Processors return
+	// wrong values during the window (Table 1: value fault / malicious
+	// replica), to be masked by majority voting and flagged by the value
+	// fault detector.
+	StepByzantine StepKind = "byzantine"
+)
+
+// windowed reports whether the kind is active over [At, At+For) rather
+// than firing once at At.
+func (k StepKind) windowed() bool {
+	switch k {
+	case StepCrash, StepRestart:
+		return false
+	default:
+		return true
+	}
+}
+
+// network reports whether the kind is applied per-frame by the fault plan.
+func (k StepKind) network() bool {
+	switch k {
+	case StepLoss, StepCorrupt, StepDuplicate, StepDelay, StepPartition:
+		return true
+	default:
+		return false
+	}
+}
+
+// known reports whether the kind is one the engine understands.
+func (k StepKind) known() bool {
+	switch k {
+	case StepLoss, StepCorrupt, StepDuplicate, StepDelay, StepPartition,
+		StepCrash, StepRestart, StepByzantine:
+		return true
+	default:
+		return false
+	}
+}
+
+// Step is one timed entry of a fault schedule. Fields are JSON-tagged so
+// schedules round-trip through JSON files as well as Go literals.
+type Step struct {
+	// At is the activation offset from scenario start.
+	At time.Duration `json:"at"`
+	// For is the window length for windowed kinds; it must be > 0 for
+	// them and is ignored for crash/restart.
+	For time.Duration `json:"for,omitempty"`
+	// Kind selects the fault action.
+	Kind StepKind `json:"kind"`
+	// P is the per-frame probability for loss/corrupt/duplicate.
+	P float64 `json:"p,omitempty"`
+	// MaxDelay bounds the extra delay for delay steps.
+	MaxDelay time.Duration `json:"max_delay,omitempty"`
+	// Processors targets partition/crash/restart/byzantine steps.
+	Processors []immune.ProcessorID `json:"processors,omitempty"`
+}
+
+// active reports whether a windowed step covers the elapsed offset.
+func (s Step) active(elapsed time.Duration) bool {
+	return elapsed >= s.At && elapsed < s.At+s.For
+}
+
+// Schedule is a declarative fault schedule: an ordered set of steps
+// composed over the scenario's load window.
+type Schedule struct {
+	Steps []Step `json:"steps"`
+}
+
+// Validate rejects malformed schedules before a run starts.
+func (s Schedule) Validate() error {
+	for i, st := range s.Steps {
+		switch {
+		case !st.Kind.known():
+			return fmt.Errorf("step %d: unknown kind %q", i, st.Kind)
+		case st.At < 0:
+			return fmt.Errorf("step %d (%s): negative offset %v", i, st.Kind, st.At)
+		case st.Kind.windowed() && st.For <= 0:
+			return fmt.Errorf("step %d (%s): windowed kind needs For > 0", i, st.Kind)
+		}
+		switch st.Kind {
+		case StepLoss, StepCorrupt, StepDuplicate:
+			if st.P <= 0 || st.P > 1 {
+				return fmt.Errorf("step %d (%s): probability %v outside (0, 1]", i, st.Kind, st.P)
+			}
+		case StepDelay:
+			if st.MaxDelay <= 0 {
+				return fmt.Errorf("step %d (delay): MaxDelay must be > 0", i)
+			}
+		case StepPartition, StepCrash, StepRestart, StepByzantine:
+			if len(st.Processors) == 0 {
+				return fmt.Errorf("step %d (%s): no target processors", i, st.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// Event is one entry of the deterministic fault-event sequence a schedule
+// expands to: a step activating ("start") or a window closing ("end").
+// The sequence is a pure function of the schedule, so two runs of the same
+// scenario produce identical event logs — the replayability contract the
+// determinism regression test guards.
+type Event struct {
+	At    time.Duration `json:"at"`
+	Kind  StepKind      `json:"kind"`
+	Phase string        `json:"phase"` // "start" or "end"
+	Step  int           `json:"step"`  // index into Schedule.Steps
+}
+
+// String renders one event line.
+func (e Event) String() string {
+	return fmt.Sprintf("%8s %s %s(step %d)", e.At, e.Phase, e.Kind, e.Step)
+}
+
+// Events expands the schedule into its fault-event sequence, ordered by
+// time (ties: start before end, then step index).
+func (s Schedule) Events() []Event {
+	var out []Event
+	for i, st := range s.Steps {
+		out = append(out, Event{At: st.At, Kind: st.Kind, Phase: "start", Step: i})
+		if st.Kind.windowed() {
+			out = append(out, Event{At: st.At + st.For, Kind: st.Kind, Phase: "end", Step: i})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ea, eb := out[a], out[b]
+		if ea.At != eb.At {
+			return ea.At < eb.At
+		}
+		if ea.Phase != eb.Phase {
+			return ea.Phase == "start"
+		}
+		return ea.Step < eb.Step
+	})
+	return out
+}
+
+// End returns the offset at which the last scheduled activity settles:
+// the max of every step's At (+For for windows).
+func (s Schedule) End() time.Duration {
+	var end time.Duration
+	for _, st := range s.Steps {
+		t := st.At
+		if st.Kind.windowed() {
+			t += st.For
+		}
+		if t > end {
+			end = t
+		}
+	}
+	return end
+}

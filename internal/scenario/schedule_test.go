@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"immune"
+)
+
+func TestScheduleValidate(t *testing.T) {
+	bad := []struct {
+		name string
+		s    Schedule
+	}{
+		{"unknown kind", Schedule{Steps: []Step{{Kind: "meteor", For: time.Second}}}},
+		{"negative offset", Schedule{Steps: []Step{{Kind: StepLoss, At: -time.Second, For: time.Second, P: 0.5}}}},
+		{"windowed without For", Schedule{Steps: []Step{{Kind: StepLoss, P: 0.5}}}},
+		{"probability zero", Schedule{Steps: []Step{{Kind: StepLoss, For: time.Second}}}},
+		{"probability above one", Schedule{Steps: []Step{{Kind: StepCorrupt, For: time.Second, P: 1.5}}}},
+		{"delay without MaxDelay", Schedule{Steps: []Step{{Kind: StepDelay, For: time.Second}}}},
+		{"partition without processors", Schedule{Steps: []Step{{Kind: StepPartition, For: time.Second}}}},
+		{"crash without processors", Schedule{Steps: []Step{{Kind: StepCrash}}}},
+		{"byzantine without processors", Schedule{Steps: []Step{{Kind: StepByzantine, For: time.Second}}}},
+	}
+	for _, tc := range bad {
+		if err := tc.s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a malformed schedule", tc.name)
+		}
+	}
+
+	good := Schedule{Steps: []Step{
+		{Kind: StepLoss, At: 0, For: time.Second, P: 0.1},
+		{Kind: StepDelay, At: time.Second, For: time.Second, MaxDelay: time.Millisecond},
+		{Kind: StepPartition, At: 0, For: time.Second, Processors: []immune.ProcessorID{3}},
+		{Kind: StepCrash, At: 2 * time.Second, Processors: []immune.ProcessorID{3}},
+		{Kind: StepRestart, At: 3 * time.Second, Processors: []immune.ProcessorID{3}},
+		{Kind: StepByzantine, At: 0, For: time.Second, Processors: []immune.ProcessorID{2}},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate rejected a well-formed schedule: %v", err)
+	}
+}
+
+func TestScheduleEvents(t *testing.T) {
+	s := Schedule{Steps: []Step{
+		{Kind: StepLoss, At: 100 * time.Millisecond, For: 400 * time.Millisecond, P: 0.1},
+		{Kind: StepCrash, At: 500 * time.Millisecond, Processors: []immune.ProcessorID{3}},
+		{Kind: StepDuplicate, At: 0, For: 500 * time.Millisecond, P: 0.1},
+	}}
+	ev := s.Events()
+	// duplicate start @0, loss start @100ms, then the 500ms tie: starts
+	// (crash, step 1) before ends (loss step 0, duplicate step 2).
+	want := []Event{
+		{At: 0, Kind: StepDuplicate, Phase: "start", Step: 2},
+		{At: 100 * time.Millisecond, Kind: StepLoss, Phase: "start", Step: 0},
+		{At: 500 * time.Millisecond, Kind: StepCrash, Phase: "start", Step: 1},
+		{At: 500 * time.Millisecond, Kind: StepLoss, Phase: "end", Step: 0},
+		{At: 500 * time.Millisecond, Kind: StepDuplicate, Phase: "end", Step: 2},
+	}
+	if len(ev) != len(want) {
+		t.Fatalf("got %d events, want %d: %v", len(ev), len(want), ev)
+	}
+	for i := range want {
+		if ev[i] != want[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, ev[i], want[i])
+		}
+	}
+	if end := s.End(); end != 500*time.Millisecond {
+		t.Errorf("End() = %v, want 500ms", end)
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	in := Schedule{Steps: []Step{
+		{Kind: StepLoss, At: time.Second, For: 2 * time.Second, P: 0.25},
+		{Kind: StepByzantine, At: 3 * time.Second, For: time.Second,
+			Processors: []immune.ProcessorID{2, 4}},
+	}}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Schedule
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Steps) != len(in.Steps) {
+		t.Fatalf("round trip lost steps: %v", out)
+	}
+	for i := range in.Steps {
+		a, b := in.Steps[i], out.Steps[i]
+		if a.Kind != b.Kind || a.At != b.At || a.For != b.For || a.P != b.P ||
+			len(a.Processors) != len(b.Processors) {
+			t.Errorf("step %d changed in round trip: %+v vs %+v", i, a, b)
+		}
+	}
+}

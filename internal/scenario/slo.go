@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+)
+
+// SLO is the pass/fail contract a scenario is checked against after its
+// run: latency quantiles read from the internal/obs scenario histogram,
+// plus delivery/shedding/recovery counters. Zero-valued fields are
+// unchecked except where noted, so each catalog entry states only the
+// guarantees that scenario is about.
+type SLO struct {
+	// MaxP50/MaxP99/MaxP999 bound the end-to-end voted-invocation latency
+	// quantiles. Zero disables a bound. These are regression tripwires for
+	// CI (generous for slow shared runners), not performance targets.
+	MaxP50  time.Duration `json:"max_p50,omitempty"`
+	MaxP99  time.Duration `json:"max_p99,omitempty"`
+	MaxP999 time.Duration `json:"max_p999,omitempty"`
+	// MinDeliveredFrac is the floor on delivered/sent. Zero means only the
+	// engine's universal "delivered > 0" check applies.
+	MinDeliveredFrac float64 `json:"min_delivered_frac,omitempty"`
+	// MaxShedFrac is the ceiling on shed/sent (ErrOverloaded). Always
+	// checked: a scenario that does not expect admission control to engage
+	// leaves it zero, meaning any shedding is a violation.
+	MaxShedFrac float64 `json:"max_shed_frac,omitempty"`
+	// MaxErrorFrac is the ceiling on hard (non-overload) invocation
+	// errors over sent. Always checked; zero means none allowed.
+	MaxErrorFrac float64 `json:"max_error_frac,omitempty"`
+	// RequireShed asserts admission control engaged (shed > 0) — the
+	// point of an overload scenario.
+	RequireShed bool `json:"require_shed,omitempty"`
+	// RequireRecovered asserts the recovery manager re-hosted at least one
+	// replica (recovery.rehostings > 0).
+	RequireRecovered bool `json:"require_recovered,omitempty"`
+	// RequireValueFaults asserts the voters detected at least one lying
+	// replica (rm.value_faults > 0).
+	RequireValueFaults bool `json:"require_value_faults,omitempty"`
+}
+
+// frac returns n/total, 0 when total is 0.
+func frac(n, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}
+
+// Check evaluates the SLO against a run's result and returns the list of
+// violations (empty = pass). The universal delivered-nothing check applies
+// to every scenario regardless of configuration.
+func (s SLO) Check(r *Result) []string {
+	var v []string
+	fail := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+
+	if r.Delivered == 0 {
+		fail("zero invocations delivered (sent %d)", r.Sent)
+	}
+	if s.MaxP50 > 0 && r.P50 > s.MaxP50 {
+		fail("p50 %v exceeds %v", r.P50, s.MaxP50)
+	}
+	if s.MaxP99 > 0 && r.P99 > s.MaxP99 {
+		fail("p99 %v exceeds %v", r.P99, s.MaxP99)
+	}
+	if s.MaxP999 > 0 && r.P999 > s.MaxP999 {
+		fail("p999 %v exceeds %v", r.P999, s.MaxP999)
+	}
+	if got := frac(r.Delivered, r.Sent); s.MinDeliveredFrac > 0 && got < s.MinDeliveredFrac {
+		fail("delivered %d/%d (%.3f) below floor %.3f", r.Delivered, r.Sent, got, s.MinDeliveredFrac)
+	}
+	if got := frac(r.Shed, r.Sent); got > s.MaxShedFrac {
+		fail("shed %d/%d (%.3f) above ceiling %.3f", r.Shed, r.Sent, got, s.MaxShedFrac)
+	}
+	if got := frac(r.Errors, r.Sent); got > s.MaxErrorFrac {
+		fail("hard errors %d/%d (%.3f) above ceiling %.3f", r.Errors, r.Sent, got, s.MaxErrorFrac)
+	}
+	if s.RequireShed && r.Shed == 0 {
+		fail("no invocations shed — admission control never engaged")
+	}
+	if s.RequireRecovered && r.Recovered == 0 {
+		fail("no replicas re-hosted — recovery never engaged")
+	}
+	if s.RequireValueFaults && r.ValueFaults == 0 {
+		fail("no value faults detected — Byzantine replicas went unnoticed")
+	}
+	return v
+}

@@ -1,0 +1,306 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"immune"
+)
+
+// This file is the shared Table 1 experiment library: each experiment
+// injects one fault class the paper claims the Immune system handles and
+// checks the claimed mechanism by the application-visible outcome (correct
+// voted replies, consistent replica state, faulty processor excluded).
+// Both cmd/faultinject and the table1 regression tests run these — the
+// fault classes live in one place instead of an ad-hoc binary.
+
+const (
+	t1SrvGroup = immune.GroupID(1)
+	t1CliGroup = immune.GroupID(2)
+	t1Key      = "Store/main"
+)
+
+// store is a deterministic replicated register whose response can be
+// corrupted to emulate a value-faulty (malicious) replica.
+type store struct {
+	mu      sync.Mutex
+	value   int64
+	corrupt bool
+}
+
+func (s *store) Invoke(op string, args []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if op == "set" {
+		v, err := immune.NewDecoder(args).ReadLongLong()
+		if err != nil {
+			return nil, err
+		}
+		s.value = v
+	}
+	e := immune.NewEncoder()
+	if s.corrupt {
+		e.WriteLongLong(s.value + 666)
+	} else {
+		e.WriteLongLong(s.value)
+	}
+	return e.Bytes(), nil
+}
+
+func (s *store) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := immune.NewEncoder()
+	e.WriteLongLong(s.value)
+	return e.Bytes()
+}
+
+func (s *store) Restore(snap []byte) error {
+	v, err := immune.NewDecoder(snap).ReadLongLong()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.value = v
+	return nil
+}
+
+// setCorrupt flips the value-fault flag.
+func (s *store) setCorrupt(v bool) {
+	s.mu.Lock()
+	s.corrupt = v
+	s.mu.Unlock()
+}
+
+// t1Deployment is the paper's full 6-processor, 3+3 replicated setup.
+type t1Deployment struct {
+	sys      *immune.System
+	servants map[immune.ProcessorID]*store
+	clients  []*immune.Client
+}
+
+func t1Deploy(plan immune.FaultPlan, seed uint64) (*t1Deployment, error) {
+	sys, err := immune.New(immune.Config{
+		Processors:     6,
+		Seed:           seed,
+		Plan:           plan,
+		SuspectTimeout: 40 * time.Millisecond,
+		CallTimeout:    20 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.Start()
+	d := &t1Deployment{sys: sys, servants: map[immune.ProcessorID]*store{}}
+	for pid := immune.ProcessorID(1); pid <= 3; pid++ {
+		p, err := sys.Processor(pid)
+		if err != nil {
+			return nil, err
+		}
+		sv := &store{}
+		d.servants[pid] = sv
+		r, err := p.HostServer(t1SrvGroup, t1Key, sv)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.WaitActive(20 * time.Second); err != nil {
+			return nil, err
+		}
+	}
+	for pid := immune.ProcessorID(4); pid <= 6; pid++ {
+		p, err := sys.Processor(pid)
+		if err != nil {
+			return nil, err
+		}
+		c, err := p.NewClient(t1CliGroup)
+		if err != nil {
+			return nil, err
+		}
+		c.Bind(t1Key, t1SrvGroup)
+		if err := c.Replica().WaitActive(20 * time.Second); err != nil {
+			return nil, err
+		}
+		d.clients = append(d.clients, c)
+	}
+	return d, nil
+}
+
+// set performs a replicated set from every client replica; returns the
+// voted results.
+func (d *t1Deployment) set(v int64) ([]int64, error) {
+	args := immune.NewEncoder()
+	args.WriteLongLong(v)
+	out := make([]int64, len(d.clients))
+	errs := make([]error, len(d.clients))
+	var wg sync.WaitGroup
+	for i, c := range d.clients {
+		wg.Add(1)
+		go func(i int, c *immune.Client) {
+			defer wg.Done()
+			body, err := c.Object(t1Key).Invoke("set", args.Bytes())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i], errs[i] = immune.NewDecoder(body).ReadLongLong()
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// expectAll checks every voted result equals want.
+func expectAll(vals []int64, want int64) error {
+	for i, v := range vals {
+		if v != want {
+			return fmt.Errorf("client %d saw %d, want %d", i, v, want)
+		}
+	}
+	return nil
+}
+
+// waitExcluded polls until pid leaves the membership, optionally keeping
+// invocation traffic flowing so the detectors have evidence to act on.
+func (d *t1Deployment) waitExcluded(pid immune.ProcessorID, keepTraffic bool, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	v := int64(1000)
+	for time.Now().Before(deadline) {
+		p1, err := d.sys.Processor(1)
+		if err != nil {
+			return err
+		}
+		in := false
+		for _, m := range p1.View().Members {
+			if m == pid {
+				in = true
+			}
+		}
+		if !in {
+			return nil
+		}
+		if keepTraffic {
+			v++
+			_, _ = d.set(v)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("%s never excluded", pid)
+}
+
+// Table1Experiment is one row of the paper's Table 1: a named fault class,
+// the mechanism claimed to handle it, and a run function returning nil
+// when the claim held.
+type Table1Experiment struct {
+	Name      string
+	Mechanism string
+	Run       func() error
+}
+
+// Table1 returns the fault-injection experiments reproducing Table 1 of
+// the paper. Each builds its own seeded deployment, so experiments are
+// independent and individually replayable.
+func Table1() []Table1Experiment {
+	return []Table1Experiment{
+		{
+			Name:      "message loss (10% of frames)",
+			Mechanism: "reliable delivery + retransmission (7.1)",
+			Run: func() error {
+				d, err := t1Deploy(immune.Probabilistic(1, 0.10, 0, 0, 0), 101)
+				if err != nil {
+					return err
+				}
+				defer d.sys.Stop()
+				vals, err := d.set(42)
+				if err != nil {
+					return err
+				}
+				return expectAll(vals, 42)
+			},
+		},
+		{
+			Name:      "message corruption (5% of frames)",
+			Mechanism: "message digest in token + retransmission (7.1)",
+			Run: func() error {
+				d, err := t1Deploy(immune.Probabilistic(2, 0, 0.05, 0, 0), 102)
+				if err != nil {
+					return err
+				}
+				defer d.sys.Stop()
+				vals, err := d.set(43)
+				if err != nil {
+					return err
+				}
+				return expectAll(vals, 43)
+			},
+		},
+		{
+			Name:      "message duplication (10% of frames)",
+			Mechanism: "integrity: at-most-once delivery (Table 2)",
+			Run: func() error {
+				d, err := t1Deploy(immune.Probabilistic(3, 0, 0, 0.10, 0), 103)
+				if err != nil {
+					return err
+				}
+				defer d.sys.Stop()
+				vals, err := d.set(44)
+				if err != nil {
+					return err
+				}
+				return expectAll(vals, 44)
+			},
+		},
+		{
+			Name:      "processor crash (P3 detaches)",
+			Mechanism: "processor membership (7.2) + object group membership (5)",
+			Run: func() error {
+				d, err := t1Deploy(nil, 104)
+				if err != nil {
+					return err
+				}
+				defer d.sys.Stop()
+				if _, err := d.set(45); err != nil {
+					return err
+				}
+				d.sys.CrashProcessor(3)
+				if err := d.waitExcluded(3, false, 20*time.Second); err != nil {
+					return err
+				}
+				vals, err := d.set(46)
+				if err != nil {
+					return err
+				}
+				return expectAll(vals, 46)
+			},
+		},
+		{
+			Name:      "value fault (server replica on P2 lies)",
+			Mechanism: "majority voting (6.1) + value fault detection (6.2) + exclusion",
+			Run: func() error {
+				d, err := t1Deploy(nil, 105)
+				if err != nil {
+					return err
+				}
+				defer d.sys.Stop()
+				if _, err := d.set(47); err != nil {
+					return err
+				}
+				d.servants[2].setCorrupt(true)
+				vals, err := d.set(48)
+				if err != nil {
+					return err
+				}
+				if err := expectAll(vals, 48); err != nil {
+					return fmt.Errorf("voting failed to mask the lie: %w", err)
+				}
+				return d.waitExcluded(2, true, 20*time.Second)
+			},
+		},
+	}
+}

@@ -16,6 +16,10 @@ type Metrics struct {
 	// processors (liveness timeouts, attributable misbehavior,
 	// corroborated value faults).
 	Suspicions *obs.Counter
+	// SuspectReason, if set, records the reason of every suspicion as a
+	// per-reason counter — the first question when diagnosing an
+	// unexpected exclusion is always "suspected for what?".
+	SuspectReason func(reason string)
 	// Members gauges the size of the installed processor membership.
 	Members *obs.Gauge
 	// Ring instruments the token-ring hot path.
@@ -33,5 +37,8 @@ func MetricsFrom(reg *obs.Registry) Metrics {
 		Suspicions: reg.Counter("smp.suspicions"),
 		Members:    reg.Gauge("smp.members"),
 		Ring:       ring.MetricsFrom(reg),
+		SuspectReason: func(reason string) {
+			reg.Counter("smp.suspect." + reason).Inc()
+		},
 	}
 }

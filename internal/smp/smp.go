@@ -64,6 +64,12 @@ type Config struct {
 	// SuspectTimeout is the fault detector's liveness timeout; 0 means
 	// 50ms.
 	SuspectTimeout time.Duration
+	// StrikeThreshold is how many weakly attributable offenses (invalid
+	// tokens, digest-mismatched messages) a processor may accumulate
+	// before the detector suspects it; 0 means the detector default (3).
+	// Deployments on lossy links raise it so wire corruption is not
+	// mistaken for processor misbehaviour.
+	StrikeThreshold int
 	// PollInterval is the event-loop sleep when idle; 0 means 100µs.
 	PollInterval time.Duration
 	// Metrics are optional observability hooks; the zero value disables
@@ -117,10 +123,14 @@ func New(cfg Config) (*Stack, error) {
 		done: make(chan struct{}),
 	}
 	s.det = detector.New(detector.Config{
-		Self:           cfg.Self,
-		SuspectTimeout: cfg.SuspectTimeout,
-		OnSuspect: func(ids.ProcessorID, detector.Reason) {
+		Self:            cfg.Self,
+		SuspectTimeout:  cfg.SuspectTimeout,
+		StrikeThreshold: cfg.StrikeThreshold,
+		OnSuspect: func(_ ids.ProcessorID, r detector.Reason) {
 			cfg.Metrics.Suspicions.Inc()
+			if cfg.Metrics.SuspectReason != nil {
+				cfg.Metrics.SuspectReason(r.String())
+			}
 		},
 	})
 	cfg.Metrics.Members.Set(int64(len(cfg.Members)))

@@ -1,0 +1,28 @@
+package immune_test
+
+import (
+	"testing"
+
+	"immune/internal/scenario"
+)
+
+// TestTable1 runs the paper's Table 1 fault-injection experiments as a
+// regression suite: each injects one fault class the Immune system claims
+// to handle (message loss, corruption, duplication, processor crash,
+// value-faulty replica) and checks the claimed mechanism by the
+// application-visible outcome. The experiments are shared with
+// cmd/faultinject, which is the human-readable runner over the same list.
+func TestTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("each experiment deploys a full six-processor system; skipped in -short")
+	}
+	for _, ex := range scenario.Table1() {
+		ex := ex
+		t.Run(ex.Name, func(t *testing.T) {
+			t.Logf("mechanism under test: %s", ex.Mechanism)
+			if err := ex.Run(); err != nil {
+				t.Fatalf("claimed mechanism did not handle the fault: %v", err)
+			}
+		})
+	}
+}

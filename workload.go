@@ -1,7 +1,12 @@
 package immune
 
 import (
+	"fmt"
+	"math"
 	"sync/atomic"
+	"time"
+
+	"immune/internal/sec"
 )
 
 // PacketSink is the server object of the paper's test application (§8):
@@ -54,4 +59,151 @@ func PacketPayload(size int) []byte {
 		p[i] = byte(i)
 	}
 	return p
+}
+
+// ArrivalProcess selects the inter-arrival distribution of an open-loop
+// PacketSource. The paper's §8 packet driver is closed-loop (the client
+// paces itself on its own completions); an open-loop source models a large
+// independent client population whose arrival times do not depend on how
+// fast the system is serving — the regime where overload and tail latency
+// actually show up.
+type ArrivalProcess int
+
+const (
+	// UniformArrivals spaces arrivals exactly 1/Rate apart (the paper's
+	// constant-interval packet driver, but open-loop).
+	UniformArrivals ArrivalProcess = iota
+	// PoissonArrivals draws exponential inter-arrival times with mean
+	// 1/Rate — independent memoryless clients.
+	PoissonArrivals
+	// ParetoArrivals draws Pareto (heavy-tailed) inter-arrival times with
+	// mean 1/Rate and tail index ParetoAlpha: long quiet stretches broken
+	// by dense bursts, the shape of real user traffic.
+	ParetoArrivals
+)
+
+// String returns the process name.
+func (p ArrivalProcess) String() string {
+	switch p {
+	case UniformArrivals:
+		return "uniform"
+	case PoissonArrivals:
+		return "poisson"
+	case ParetoArrivals:
+		return "pareto"
+	default:
+		return fmt.Sprintf("ArrivalProcess(%d)", int(p))
+	}
+}
+
+// Arrival is one generated invocation of an open-loop workload: when to
+// send it (offset from stream start), what to send, and which object group
+// of the simulated population it targets.
+type Arrival struct {
+	At      time.Duration
+	Payload []byte
+	Group   int // in [0, PacketSourceConfig.Groups)
+}
+
+// PacketSourceConfig parameterizes a PacketSource.
+type PacketSourceConfig struct {
+	// Seed makes the stream reproducible: two sources with equal configs
+	// yield identical arrival sequences.
+	Seed uint64
+	// Rate is the mean arrival rate in invocations/second. Must be > 0.
+	Rate float64
+	// Process selects the inter-arrival distribution.
+	Process ArrivalProcess
+	// ParetoAlpha is the Pareto tail index for ParetoArrivals; values in
+	// (1, 2] have finite mean but infinite variance. Zero means 1.5.
+	ParetoAlpha float64
+	// PayloadSize is the invocation body size in bytes (the paper's driver
+	// used a fixed 16-byte body inside 64-byte IIOP messages).
+	PayloadSize int
+	// PayloadSpread widens the body size to a uniform draw from
+	// [PayloadSize, PayloadSize+PayloadSpread]. Zero means fixed size.
+	PayloadSpread int
+	// Groups spreads arrivals uniformly across this many object groups
+	// (Arrival.Group in [0, Groups)). Zero means 1.
+	Groups int
+}
+
+// PacketSource is a deterministic open-loop traffic generator: a seeded
+// stream of Arrivals whose times follow the configured arrival process.
+// It generates the schedule; callers decide how to dispatch it (sleep
+// until each Arrival.At and send, never pacing on completions). Benches,
+// the scenario engine, and the saturate smoke all share this generator
+// instead of hand-rolling send loops.
+type PacketSource struct {
+	cfg PacketSourceConfig
+	rng *sec.SeededRand
+	now time.Duration
+}
+
+// NewPacketSource creates a source. It panics on a non-positive rate —
+// misconfigured load generators should fail loudly, not spin.
+func NewPacketSource(cfg PacketSourceConfig) *PacketSource {
+	if cfg.Rate <= 0 {
+		panic(fmt.Sprintf("immune: PacketSource rate %v must be > 0", cfg.Rate))
+	}
+	if cfg.ParetoAlpha == 0 {
+		cfg.ParetoAlpha = 1.5
+	}
+	if cfg.Groups <= 0 {
+		cfg.Groups = 1
+	}
+	if cfg.PayloadSize < 0 {
+		cfg.PayloadSize = 0
+	}
+	return &PacketSource{cfg: cfg, rng: sec.NewSeededRand(cfg.Seed)}
+}
+
+// uniform01 draws a float64 in (0, 1] — open at zero so logs and negative
+// powers stay finite.
+func (s *PacketSource) uniform01() float64 {
+	u := float64(s.rng.Uint64()>>11) / float64(1<<53)
+	return 1 - u
+}
+
+// Next returns the next arrival in the stream. The sequence of arrivals is
+// a pure function of the config (including Seed).
+func (s *PacketSource) Next() Arrival {
+	mean := 1 / s.cfg.Rate // seconds
+	var gap float64
+	switch s.cfg.Process {
+	case PoissonArrivals:
+		gap = -mean * math.Log(s.uniform01())
+	case ParetoArrivals:
+		// Pareto with scale xm and tail alpha has mean alpha·xm/(alpha−1);
+		// choose xm so the mean inter-arrival is 1/Rate.
+		a := s.cfg.ParetoAlpha
+		xm := mean * (a - 1) / a
+		gap = xm * math.Pow(s.uniform01(), -1/a)
+	default:
+		gap = mean
+	}
+	s.now += time.Duration(gap * float64(time.Second))
+	size := s.cfg.PayloadSize
+	if s.cfg.PayloadSpread > 0 {
+		size += int(s.rng.Int63n(int64(s.cfg.PayloadSpread) + 1))
+	}
+	group := 0
+	if s.cfg.Groups > 1 {
+		group = int(s.rng.Int63n(int64(s.cfg.Groups)))
+	}
+	return Arrival{At: s.now, Payload: PacketPayload(size), Group: group}
+}
+
+// TakeUntil returns every arrival with At <= horizon, in time order. The
+// scenario engine uses it to expand a bounded load window up front so the
+// dispatch loop does no generation work.
+func (s *PacketSource) TakeUntil(horizon time.Duration) []Arrival {
+	var out []Arrival
+	for {
+		a := s.Next()
+		if a.At > horizon {
+			return out
+		}
+		out = append(out, a)
+	}
 }

@@ -1,7 +1,10 @@
 package immune_test
 
 import (
+	"bytes"
+	"sort"
 	"testing"
+	"time"
 
 	"immune"
 )
@@ -44,6 +47,120 @@ func TestPacketPayload(t *testing.T) {
 	if len(immune.PacketPayload(0)) != 0 {
 		t.Fatal("zero-size payload")
 	}
+}
+
+func TestPacketSourceDeterministic(t *testing.T) {
+	cfg := immune.PacketSourceConfig{
+		Seed:          9,
+		Rate:          1000,
+		Process:       immune.ParetoArrivals,
+		PayloadSize:   16,
+		PayloadSpread: 48,
+		Groups:        8,
+	}
+	a := immune.NewPacketSource(cfg).TakeUntil(200 * time.Millisecond)
+	b := immune.NewPacketSource(cfg).TakeUntil(200 * time.Millisecond)
+	if len(a) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Group != b[i].Group ||
+			!bytes.Equal(a[i].Payload, b[i].Payload) {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := immune.NewPacketSource(immune.PacketSourceConfig{
+		Seed: 10, Rate: 1000, Process: immune.ParetoArrivals,
+		PayloadSize: 16, PayloadSpread: 48, Groups: 8,
+	}).TakeUntil(200 * time.Millisecond)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].At != c[i].At {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestPacketSourceShapes(t *testing.T) {
+	const horizon = 2 * time.Second
+	for _, proc := range []immune.ArrivalProcess{
+		immune.UniformArrivals, immune.PoissonArrivals, immune.ParetoArrivals,
+	} {
+		arr := immune.NewPacketSource(immune.PacketSourceConfig{
+			Seed: 4, Rate: 500, Process: proc, PayloadSize: 16, Groups: 4,
+		}).TakeUntil(horizon)
+		// Mean inter-arrival is 1/Rate for every process, so the count over
+		// the horizon should be near Rate·horizon. Pareto (α=1.5) converges
+		// slowly — allow a wide band.
+		want := 500 * horizon.Seconds()
+		if float64(len(arr)) < want/3 || float64(len(arr)) > want*3 {
+			t.Errorf("%v: %d arrivals over %v, want within 3x of %.0f",
+				proc, len(arr), horizon, want)
+		}
+		last := time.Duration(-1)
+		groups := map[int]bool{}
+		for _, a := range arr {
+			if a.At <= last {
+				t.Fatalf("%v: arrivals not strictly increasing", proc)
+			}
+			last = a.At
+			if a.Group < 0 || a.Group >= 4 {
+				t.Fatalf("%v: group %d out of range", proc, a.Group)
+			}
+			groups[a.Group] = true
+			if len(a.Payload) != 16 {
+				t.Fatalf("%v: payload %d bytes, want 16", proc, len(a.Payload))
+			}
+		}
+		if len(groups) < 2 {
+			t.Errorf("%v: arrivals not spread across groups", proc)
+		}
+	}
+}
+
+func TestPacketSourceHeavyTail(t *testing.T) {
+	// The Pareto stream must actually be heavy-tailed: its maximum gap
+	// should dwarf its median gap by far more than the exponential
+	// stream's does.
+	gaps := func(proc immune.ArrivalProcess) (median, max float64) {
+		arr := immune.NewPacketSource(immune.PacketSourceConfig{
+			Seed: 12, Rate: 2000, Process: proc, PayloadSize: 8,
+		}).TakeUntil(5 * time.Second)
+		var gs []float64
+		prev := time.Duration(0)
+		for _, a := range arr {
+			gs = append(gs, float64(a.At-prev))
+			prev = a.At
+		}
+		sort.Float64s(gs)
+		return gs[len(gs)/2], gs[len(gs)-1]
+	}
+	pm, pmax := gaps(immune.ParetoArrivals)
+	if pmax/pm < 50 {
+		t.Errorf("pareto max/median gap = %.1f, want heavy tail (>= 50)", pmax/pm)
+	}
+	um, umax := gaps(immune.UniformArrivals)
+	if umax/um > 1.01 {
+		t.Errorf("uniform gaps not constant: max/median = %.3f", umax/um)
+	}
+}
+
+func TestPacketSourceRejectsZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate accepted")
+		}
+	}()
+	immune.NewPacketSource(immune.PacketSourceConfig{})
 }
 
 func TestBaselineLoopback(t *testing.T) {
