@@ -1,0 +1,293 @@
+// Command immune-node runs one OS process of a multi-process Immune
+// deployment: the processors named by -local join the ring over real TCP
+// sockets (internal/transport/tcpmesh), with the full membership given by
+// the static -peers map. N such processes on one machine — or several —
+// form a genuine ring the way the paper's testbed did over 100 Mbps
+// Ethernet.
+//
+// Roles are derived from processor identifiers: processors 1..degree host
+// replicas of a bank account server group, and every higher processor
+// runs a teller client replica that performs the same deterministic
+// sequence of deposits (duplicate invocations are detected and discarded
+// by the voters, so the account is credited once per operation no matter
+// how many teller replicas run). A process hosting only servers stays up
+// for -run (or until SIGINT/SIGTERM); a process hosting a client exits 0
+// once its operations complete with the expected voted balance.
+//
+// Two-process loopback example (one terminal each):
+//
+//	immune-node -local 1,2,3 -peers 1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103,4=127.0.0.1:7104 -run 60s
+//	immune-node -local 4   -peers 1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103,4=127.0.0.1:7104 -ops 5
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"immune"
+	"immune/internal/ids"
+	"immune/internal/obs"
+	"immune/internal/transport"
+	"immune/internal/transport/tcpmesh"
+)
+
+const (
+	accountGroup = immune.GroupID(1)
+	tellerGroup  = immune.GroupID(2)
+	accountKey   = "Account/main"
+	depositEach  = int64(100)
+)
+
+func main() {
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+	if err := run(); err != nil {
+		log.Fatalf("immune-node: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		localFlag = flag.String("local", "", "comma-separated processor ids this process hosts (e.g. 1,2,3)")
+		peersFlag = flag.String("peers", "", "full ring membership as id=host:port pairs (e.g. 1=127.0.0.1:7101,2=...)")
+		seed      = flag.Uint64("seed", 1, "shared deployment seed; every process must use the same value")
+		levelFlag = flag.String("level", "signatures", "survivability level: none, digests, or signatures")
+		degree    = flag.Int("degree", 3, "server replication degree (processors 1..degree host the account)")
+		ops       = flag.Int("ops", 5, "deposits each teller performs")
+		runFor    = flag.Duration("run", 0, "server-only lifetime; 0 means until SIGINT/SIGTERM")
+		timeout   = flag.Duration("timeout", 90*time.Second, "client deadline for completing all operations")
+		metrics   = flag.Bool("metrics", false, "dump transport metrics on exit")
+	)
+	flag.Parse()
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	local, err := parseLocal(*localFlag, peers)
+	if err != nil {
+		return err
+	}
+	level, err := parseLevel(*levelFlag)
+	if err != nil {
+		return err
+	}
+	n := len(peers)
+	if *degree < 1 || *degree >= n {
+		return fmt.Errorf("degree %d needs 1..%d (at least one processor must remain for a teller)", *degree, n-1)
+	}
+
+	reg := obs.NewRegistry()
+	tm := transport.MetricsFrom(reg)
+	cfg := immune.Config{
+		Processors:      n,
+		Level:           level,
+		Seed:            *seed,
+		LocalProcessors: local,
+		Transport: func(p immune.ProcessorID) (immune.TransportEndpoint, error) {
+			return tcpmesh.New(tcpmesh.Config{
+				Self:    p,
+				Peers:   peers,
+				Listen:  peers[p],
+				Seed:    *seed,
+				Metrics: tm,
+			})
+		},
+		// Real sockets add scheduling noise the simulated LAN does not
+		// have; a tight liveness timeout would read a busy loopback as a
+		// dead processor.
+		SuspectTimeout: 2 * time.Second,
+		CallTimeout:    5 * time.Second,
+		InvokeRetries:  2,
+	}
+	sys, err := immune.New(cfg)
+	if err != nil {
+		return err
+	}
+	sys.Start()
+	defer sys.Stop()
+	if *metrics {
+		defer func() { fmt.Print(reg.Snapshot().String()) }()
+	}
+
+	var clients []*immune.Client
+	for _, pid := range local {
+		p, err := sys.Processor(pid)
+		if err != nil {
+			return err
+		}
+		if int(pid) <= *degree {
+			r, err := p.HostServer(accountGroup, accountKey, newAccountServant())
+			if err != nil {
+				return fmt.Errorf("host server on P%d: %w", pid, err)
+			}
+			if err := r.WaitActive(*timeout); err != nil {
+				return fmt.Errorf("server replica on P%d: %w", pid, err)
+			}
+			log.Printf("P%d: account replica active", pid)
+		} else {
+			c, err := p.NewClient(tellerGroup)
+			if err != nil {
+				return fmt.Errorf("client on P%d: %w", pid, err)
+			}
+			c.Bind(accountKey, accountGroup)
+			if err := c.Replica().WaitActive(*timeout); err != nil {
+				return fmt.Errorf("teller replica on P%d: %w", pid, err)
+			}
+			log.Printf("P%d: teller replica active", pid)
+			clients = append(clients, c)
+		}
+	}
+
+	if len(clients) == 0 {
+		return serveUntilDone(*runFor)
+	}
+	return runTellers(clients, *ops, *timeout)
+}
+
+// serveUntilDone keeps a server-only process alive for the configured
+// lifetime, or until a signal arrives.
+func serveUntilDone(d time.Duration) error {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if d <= 0 {
+		<-sig
+		log.Printf("shutting down on signal")
+		return nil
+	}
+	select {
+	case <-sig:
+		log.Printf("shutting down on signal")
+	case <-time.After(d):
+		log.Printf("lifetime %v elapsed, shutting down", d)
+	}
+	return nil
+}
+
+// runTellers performs the deterministic deposit sequence on every local
+// teller replica. All teller replicas system-wide run this same code, so
+// each deposit is one voted invocation regardless of how many processes
+// host tellers.
+func runTellers(clients []*immune.Client, ops int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	args := immune.NewEncoder()
+	args.WriteLongLong(depositEach)
+	var balance int64
+	for op := 1; op <= ops; op++ {
+		var body []byte
+		var err error
+		for _, c := range clients {
+			// Until every server replica has joined, invocations fail
+			// with retryable errors (group degraded, overloaded); re-send
+			// within the deadline instead of giving up on startup skew.
+			body, err = invokeUntil(c.Object(accountKey), "deposit", args.Bytes(), deadline)
+			if err != nil {
+				return fmt.Errorf("deposit %d: %w", op, err)
+			}
+		}
+		if balance, err = immune.NewDecoder(body).ReadLongLong(); err != nil {
+			return fmt.Errorf("deposit %d reply: %w", op, err)
+		}
+		log.Printf("deposit %d -> voted balance %d", op, balance)
+	}
+	want := depositEach * int64(ops)
+	if balance != want {
+		return fmt.Errorf("voted balance %d after %d deposits, want %d", balance, ops, want)
+	}
+	fmt.Printf("immune-node: OK voted balance %d after %d deposits\n", balance, ops)
+	return nil
+}
+
+// invokeUntil retries a replicated invocation across startup skew: the
+// retryable failures (group still assembling, admission bound, timeout)
+// are re-sent with a short pause until the deadline. Re-sends are safe —
+// the voters discard duplicate invocation identifiers.
+func invokeUntil(obj *immune.Object, op string, args []byte, deadline time.Time) ([]byte, error) {
+	var lastErr error
+	for time.Now().Before(deadline) {
+		body, err := obj.InvokeDeadline(op, args, deadline)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if !errors.Is(err, immune.ErrTimeout) &&
+			!errors.Is(err, immune.ErrNotActive) &&
+			!errors.Is(err, immune.ErrGroupDegraded) &&
+			!errors.Is(err, immune.ErrQuorumLost) &&
+			!errors.Is(err, immune.ErrOverloaded) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("deadline expired: %w", lastErr)
+}
+
+func parsePeers(s string) (map[ids.ProcessorID]string, error) {
+	if s == "" {
+		return nil, errors.New("-peers is required")
+	}
+	peers := make(map[ids.ProcessorID]string)
+	for _, pair := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("peer %q: want id=host:port", pair)
+		}
+		v, err := strconv.ParseUint(id, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("peer id %q: %w", id, err)
+		}
+		if _, dup := peers[ids.ProcessorID(v)]; dup {
+			return nil, fmt.Errorf("peer id %s listed twice", id)
+		}
+		peers[ids.ProcessorID(v)] = addr
+	}
+	// The ring membership is 1..n; the peer map must cover exactly that.
+	for i := 1; i <= len(peers); i++ {
+		if _, ok := peers[ids.ProcessorID(i)]; !ok {
+			return nil, fmt.Errorf("peer map has %d entries but no id %d (need exactly 1..%d)",
+				len(peers), i, len(peers))
+		}
+	}
+	return peers, nil
+}
+
+func parseLocal(s string, peers map[ids.ProcessorID]string) ([]immune.ProcessorID, error) {
+	if s == "" {
+		return nil, errors.New("-local is required")
+	}
+	var local []immune.ProcessorID
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("local id %q: %w", part, err)
+		}
+		pid := immune.ProcessorID(v)
+		if _, ok := peers[pid]; !ok {
+			return nil, fmt.Errorf("local id %d is not in the peer map", pid)
+		}
+		local = append(local, pid)
+	}
+	sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+	return local, nil
+}
+
+func parseLevel(s string) (immune.Level, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return immune.LevelNone, nil
+	case "digests":
+		return immune.LevelDigests, nil
+	case "signatures", "":
+		return immune.LevelSignatures, nil
+	default:
+		return 0, fmt.Errorf("level %q: want none, digests, or signatures", s)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTwoProcessLoopbackRing is the multi-process smoke test: two OS
+// processes — one hosting the three account server processors, one
+// hosting the teller — form a real ring over loopback TCP sockets and
+// complete replicated, majority-voted bank invocations end to end.
+func TestTwoProcessLoopbackRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := filepath.Join(t.TempDir(), "immune-node")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	ports := reservePorts(t, 4)
+	pairs := make([]string, len(ports))
+	for i, port := range ports {
+		pairs[i] = fmt.Sprintf("%d=127.0.0.1:%d", i+1, port)
+	}
+	peers := strings.Join(pairs, ",")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	server := exec.CommandContext(ctx, bin,
+		"-local", "1,2,3", "-peers", peers, "-seed", "7", "-run", "120s")
+	var serverOut strings.Builder
+	server.Stdout = &serverOut
+	server.Stderr = &serverOut
+	if err := server.Start(); err != nil {
+		t.Fatalf("start server process: %v", err)
+	}
+	defer func() {
+		server.Process.Kill()
+		server.Wait()
+		t.Logf("server process output:\n%s", serverOut.String())
+	}()
+
+	client := exec.CommandContext(ctx, bin,
+		"-local", "4", "-peers", peers, "-seed", "7", "-ops", "3", "-timeout", "90s")
+	out, err := client.CombinedOutput()
+	if err != nil {
+		t.Fatalf("client process: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "immune-node: OK voted balance 300 after 3 deposits") {
+		t.Fatalf("client did not report the voted balance:\n%s", out)
+	}
+}
+
+// reservePorts picks n distinct loopback ports. The listeners stay bound
+// until all are chosen (so the kernel cannot hand the same port out
+// twice), then are released for the node processes to rebind.
+func reservePorts(t *testing.T, n int) []int {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	ports := make([]int, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		listeners[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return ports
+}

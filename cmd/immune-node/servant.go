@@ -1,0 +1,68 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"immune"
+)
+
+// accountServant is the deterministic replicated bank account every
+// server processor hosts (the same contract as examples/bank): deposit
+// and withdraw move CDR long long amounts, every operation returns the
+// resulting balance, and snapshot/restore carry the balance for replica
+// reallocation.
+type accountServant struct {
+	mu      sync.Mutex
+	balance int64
+}
+
+func newAccountServant() immune.Servant { return &accountServant{} }
+
+func (a *accountServant) Invoke(op string, args []byte) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch op {
+	case "deposit":
+		amount, err := immune.NewDecoder(args).ReadLongLong()
+		if err != nil {
+			return nil, err
+		}
+		a.balance += amount
+	case "withdraw":
+		amount, err := immune.NewDecoder(args).ReadLongLong()
+		if err != nil {
+			return nil, err
+		}
+		if amount > a.balance {
+			return nil, errors.New("insufficient funds")
+		}
+		a.balance -= amount
+	case "balance":
+	default:
+		return nil, fmt.Errorf("unknown operation %q", op)
+	}
+	e := immune.NewEncoder()
+	e.WriteLongLong(a.balance)
+	return e.Bytes(), nil
+}
+
+func (a *accountServant) Snapshot() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := immune.NewEncoder()
+	e.WriteLongLong(a.balance)
+	return e.Bytes()
+}
+
+func (a *accountServant) Restore(snap []byte) error {
+	v, err := immune.NewDecoder(snap).ReadLongLong()
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance = v
+	return nil
+}

@@ -53,6 +53,7 @@ import (
 	"immune/internal/replication"
 	"immune/internal/ring"
 	"immune/internal/sec"
+	"immune/internal/transport"
 )
 
 // Identifier types (see the paper's system model, §3 and §5.1).
@@ -131,6 +132,17 @@ type (
 // duplication, delay) for survivability experiments. See netsim.FaultPlan.
 type FaultPlan = netsim.FaultPlan
 
+// Transport seam types (see internal/transport): the endpoint contract a
+// processor's protocol stack runs over. The built-in simulated LAN is the
+// default backend; a real-socket mesh (internal/transport/tcpmesh, used
+// by cmd/immune-node) lets N OS processes form a genuine ring.
+type (
+	// TransportEndpoint is one processor's attachment to the network.
+	TransportEndpoint = transport.Endpoint
+	// TransportFrame is one received network-level datagram.
+	TransportFrame = transport.Frame
+)
+
 // Config parameterizes an Immune system deployment.
 type Config struct {
 	// Processors is the number of simulated processors (the paper's
@@ -204,6 +216,16 @@ type Config struct {
 	// BacklogTTL expires buffered invocations by age. Zero means 30s;
 	// negative disables expiry.
 	BacklogTTL time.Duration
+	// Transport optionally supplies each hosted processor's network
+	// endpoint, replacing the built-in simulated LAN with a real-socket
+	// backend. When set, the netsim knobs (NetLatency, NetJitter, Plan)
+	// and CrashProcessor do not apply, and Stop closes the endpoints.
+	Transport func(p ProcessorID) (TransportEndpoint, error)
+	// LocalProcessors restricts which of the 1..Processors identifiers
+	// this OS process hosts (multi-process deployments run one per
+	// process while the ring membership stays 1..Processors). Empty
+	// means all; non-empty requires Transport.
+	LocalProcessors []ProcessorID
 	// OnMembershipChange observes processor membership installs.
 	OnMembershipChange func(self ProcessorID, inst MembershipInstall)
 	// DisableMetrics turns the observability layer off. By default every
@@ -242,6 +264,8 @@ func New(cfg Config) (*System, error) {
 		MaxInFlight:        cfg.MaxInFlight,
 		MaxBacklog:         cfg.MaxBacklog,
 		BacklogTTL:         cfg.BacklogTTL,
+		Transport:          cfg.Transport,
+		LocalProcessors:    cfg.LocalProcessors,
 		OnMembershipChange: cfg.OnMembershipChange,
 		DisableMetrics:     cfg.DisableMetrics,
 	})

@@ -25,6 +25,7 @@ import (
 	"immune/internal/ring"
 	"immune/internal/sec"
 	"immune/internal/smp"
+	"immune/internal/transport"
 	"immune/internal/voting"
 )
 
@@ -96,6 +97,19 @@ type Config struct {
 	// BacklogTTL expires backlog entries by age. 0 means
 	// replication.DefaultBacklogTTL; negative disables expiry.
 	BacklogTTL time.Duration
+	// Transport optionally supplies each hosted processor's network
+	// endpoint, replacing the built-in simulated LAN with a real-socket
+	// backend (internal/transport/tcpmesh). When set, the netsim knobs
+	// (NetLatency, NetJitter, Plan, Seeded network faults) do not apply,
+	// CrashProcessor/ReattachProcessor are no-ops, and NetStats reports
+	// zeros; Stop closes the supplied endpoints.
+	Transport func(p ids.ProcessorID) (transport.Endpoint, error)
+	// LocalProcessors restricts which of the 1..Processors identifiers
+	// this OS process hosts — a multi-process deployment runs one (or a
+	// few) per process while the full membership stays 1..Processors.
+	// Empty means all. Requires Transport: simulated endpoints cannot
+	// span processes.
+	LocalProcessors []ids.ProcessorID
 	// OnMembershipChange, if set, observes processor membership installs
 	// (invoked once per processor per install).
 	OnMembershipChange func(self ids.ProcessorID, inst membership.Install)
@@ -120,11 +134,12 @@ func MinCorrectReplicas(r int) int { return (r + 2) / 2 }
 
 // System is one Immune deployment: processors, network, protocol stacks.
 type System struct {
-	cfg    Config
-	net    *netsim.Network
-	procs  map[ids.ProcessorID]*Processor
-	order  []ids.ProcessorID
-	rec    *recovery.Manager
+	cfg     Config
+	net     *netsim.Network // nil when Config.Transport supplies endpoints
+	procs   map[ids.ProcessorID]*Processor
+	order   []ids.ProcessorID // processors hosted in this OS process
+	members []ids.ProcessorID // full ring membership (1..Processors)
+	rec     *recovery.Manager
 	reg    *obs.Registry // nil when DisableMetrics
 	tracer *obs.Tracer   // nil when DisableMetrics
 	actCh  chan struct{} // edge-trigger: replica activity (WaitGroupActive)
@@ -149,6 +164,7 @@ type groupSpec struct {
 type Processor struct {
 	id    ids.ProcessorID
 	sys   *System
+	ep    transport.Endpoint
 	stack *smp.Stack
 	mgr   *replication.Manager
 }
@@ -178,27 +194,53 @@ func NewSystem(cfg Config) (*System, error) {
 	tracer := obs.NewTracer(reg)
 
 	s := &System{
-		cfg: cfg,
-		net: netsim.New(netsim.Config{
-			Latency: cfg.NetLatency,
-			Jitter:  cfg.NetJitter,
-			Plan:    cfg.Plan,
-			Seed:    cfg.Seed,
-			Metrics: netsim.MetricsFrom(reg),
-		}),
+		cfg:    cfg,
 		procs:  make(map[ids.ProcessorID]*Processor, cfg.Processors),
 		specs:  make(map[ids.ObjectGroupID]*groupSpec),
 		reg:    reg,
 		tracer: tracer,
 		actCh:  make(chan struct{}, 1),
 	}
+	if cfg.Transport == nil {
+		s.net = netsim.New(netsim.Config{
+			Latency: cfg.NetLatency,
+			Jitter:  cfg.NetJitter,
+			Plan:    cfg.Plan,
+			Seed:    cfg.Seed,
+			Metrics: netsim.MetricsFrom(reg),
+		})
+	}
 
 	members := make([]ids.ProcessorID, cfg.Processors)
 	for i := range members {
 		members[i] = ids.ProcessorID(i + 1)
 	}
-	s.order = members
+	s.members = members
 
+	local := members
+	if len(cfg.LocalProcessors) > 0 {
+		if cfg.Transport == nil {
+			return nil, fmt.Errorf("core: LocalProcessors requires a Transport (simulated endpoints cannot span processes)")
+		}
+		seen := make(map[ids.ProcessorID]bool, len(cfg.LocalProcessors))
+		for _, p := range cfg.LocalProcessors {
+			if p < 1 || int(p) > cfg.Processors {
+				return nil, fmt.Errorf("core: local processor %s outside membership 1..%d", p, cfg.Processors)
+			}
+			if seen[p] {
+				return nil, fmt.Errorf("core: duplicate local processor %s", p)
+			}
+			seen[p] = true
+		}
+		local = append([]ids.ProcessorID(nil), cfg.LocalProcessors...)
+		sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+	}
+	s.order = local
+
+	// Key generation covers the FULL membership, not just the local
+	// processors: every process of a multi-process deployment derives
+	// the same keyring from the shared seed, so each knows every peer's
+	// public key while using only its own private one.
 	keyRing := sec.NewKeyRing()
 	keys := make(map[ids.ProcessorID]*sec.KeyPair, cfg.Processors)
 	if cfg.Level >= sec.LevelSignatures {
@@ -212,8 +254,14 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 	}
 
-	for _, p := range members {
-		ep, err := s.net.Attach(p)
+	for _, p := range local {
+		var ep transport.Endpoint
+		var err error
+		if cfg.Transport != nil {
+			ep, err = cfg.Transport(p)
+		} else {
+			ep, err = s.net.Attach(p)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: attach %s: %w", p, err)
 		}
@@ -223,7 +271,7 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		suite.WorkFactor = cfg.CryptoWorkFactor
 
-		proc := &Processor{id: p, sys: s}
+		proc := &Processor{id: p, sys: s, ep: ep}
 		stack, err := smp.New(smp.Config{
 			Self:            p,
 			Members:         members,
@@ -422,7 +470,13 @@ func (s *System) Stop() {
 	for _, p := range s.order {
 		s.procs[p].stack.Stop()
 	}
-	s.net.Close()
+	if s.net != nil {
+		s.net.Close()
+		return
+	}
+	for _, p := range s.order {
+		s.procs[p].ep.Close()
+	}
 }
 
 // Processor returns the processor with the given identifier.
@@ -439,24 +493,36 @@ func (s *System) Processors() []ids.ProcessorID {
 	return append([]ids.ProcessorID(nil), s.order...)
 }
 
-// MaxFaulty returns the fault budget of this deployment.
-func (s *System) MaxFaulty() int { return MaxFaulty(len(s.order)) }
+// MaxFaulty returns the fault budget of this deployment, computed over
+// the full ring membership (which may span OS processes).
+func (s *System) MaxFaulty() int { return MaxFaulty(len(s.members)) }
 
 // CrashProcessor simulates a processor crash: the processor drops off the
 // LAN (Table 1: processor crash). The survivors' fault detectors time it
-// out and the membership protocol excludes it.
+// out and the membership protocol excludes it. A no-op on a real-socket
+// transport — kill the OS process instead.
 func (s *System) CrashProcessor(id ids.ProcessorID) {
-	s.net.Detach(id)
+	if s.net != nil {
+		s.net.Detach(id)
+	}
 }
 
 // ReattachProcessor reverses CrashProcessor at the network level (the
 // membership protocol decides whether the processor may rejoin).
 func (s *System) ReattachProcessor(id ids.ProcessorID) {
-	s.net.Reattach(id)
+	if s.net != nil {
+		s.net.Reattach(id)
+	}
 }
 
-// NetStats returns the simulated network's counters.
-func (s *System) NetStats() netsim.Stats { return s.net.Stats() }
+// NetStats returns the simulated network's counters (zeros on a
+// real-socket transport — see the transport.* metric family instead).
+func (s *System) NetStats() netsim.Stats {
+	if s.net == nil {
+		return netsim.Stats{}
+	}
+	return s.net.Stats()
+}
 
 // Metrics returns the system-wide metric registry, or nil when the
 // observability layer is disabled (Config.DisableMetrics).

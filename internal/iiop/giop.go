@@ -88,23 +88,34 @@ func frame(t MsgType, body []byte) []byte {
 	return append(out, body...)
 }
 
+// CheckHeader validates the fixed 12-byte GIOP header — magic, version,
+// byte order — and returns the message type and the body size the header
+// claims. Stream readers call it BEFORE trusting the size field: on a
+// desynchronized or non-IIOP stream the magic check fails immediately,
+// instead of a garbage size driving a huge allocation and a blocked read.
+func CheckHeader(header []byte) (MsgType, uint32, error) {
+	if len(header) < HeaderSize {
+		return 0, 0, fmt.Errorf("iiop: message shorter than GIOP header (%d bytes)", len(header))
+	}
+	if [4]byte(header[:4]) != magic {
+		return 0, 0, fmt.Errorf("iiop: bad GIOP magic %q", header[:4])
+	}
+	if header[4] != 1 || header[5] != 0 {
+		return 0, 0, fmt.Errorf("iiop: unsupported GIOP version %d.%d", header[4], header[5])
+	}
+	if header[6]&0x01 != 0 {
+		return 0, 0, fmt.Errorf("iiop: little-endian GIOP not supported")
+	}
+	return MsgType(header[7]), binary.BigEndian.Uint32(header[8:12]), nil
+}
+
 // ParseHeader validates a GIOP header and returns the message type and the
 // body octets.
 func ParseHeader(data []byte) (MsgType, []byte, error) {
-	if len(data) < HeaderSize {
-		return 0, nil, fmt.Errorf("iiop: message shorter than GIOP header (%d bytes)", len(data))
+	t, size, err := CheckHeader(data)
+	if err != nil {
+		return 0, nil, err
 	}
-	if [4]byte(data[:4]) != magic {
-		return 0, nil, fmt.Errorf("iiop: bad GIOP magic %q", data[:4])
-	}
-	if data[4] != 1 || data[5] != 0 {
-		return 0, nil, fmt.Errorf("iiop: unsupported GIOP version %d.%d", data[4], data[5])
-	}
-	if data[6]&0x01 != 0 {
-		return 0, nil, fmt.Errorf("iiop: little-endian GIOP not supported")
-	}
-	t := MsgType(data[7])
-	size := binary.BigEndian.Uint32(data[8:12])
 	if int(size) != len(data)-HeaderSize {
 		return 0, nil, fmt.Errorf("iiop: message size %d does not match body %d",
 			size, len(data)-HeaderSize)

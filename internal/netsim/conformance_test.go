@@ -1,0 +1,27 @@
+package netsim_test
+
+import (
+	"testing"
+
+	"immune/internal/ids"
+	"immune/internal/netsim"
+	"immune/internal/transport"
+	"immune/internal/transport/transporttest"
+)
+
+// TestTransportConformance runs the seam's conformance suite against the
+// simulator backend in its deterministic zero-latency configuration.
+func TestTransportConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T, n int) *transporttest.Mesh {
+		net := netsim.New(netsim.Config{})
+		eps := make([]transport.Endpoint, n)
+		for i := 0; i < n; i++ {
+			ep, err := net.Attach(ids.ProcessorID(i + 1))
+			if err != nil {
+				t.Fatalf("attach %d: %v", i+1, err)
+			}
+			eps[i] = ep
+		}
+		return &transporttest.Mesh{Endpoints: eps, Close: net.Close}
+	})
+}

@@ -13,22 +13,21 @@ package netsim
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"time"
 
 	"immune/internal/ids"
+	"immune/internal/transport"
 )
 
 // Broadcast is the reserved destination meaning "all attached processors
 // except the sender" (physical multicast on the simulated LAN segment).
-const Broadcast = ids.ProcessorID(0xffffffff)
+const Broadcast = transport.Broadcast
 
-// Frame is one network-level datagram.
-type Frame struct {
-	From    ids.ProcessorID
-	To      ids.ProcessorID // Broadcast for multicast frames
-	Payload []byte
-}
+// Frame is one network-level datagram. It is the transport seam's frame
+// type: netsim is one backend of the transport.Endpoint contract.
+type Frame = transport.Frame
 
 // Verdict is the per-frame decision of a fault plan.
 type Verdict int
@@ -345,12 +344,16 @@ func (n *Network) countDelivered(c uint64) {
 	n.cfg.Metrics.Delivered.Add(c)
 }
 
-// Endpoint is one processor's attachment to the network.
+// Endpoint is one processor's attachment to the network. It is the
+// simulator's implementation of the transport seam; internal/smp consumes
+// it through the transport.Endpoint interface.
 type Endpoint struct {
 	id  ids.ProcessorID
 	net *Network
 	box *mailbox
 }
+
+var _ transport.Endpoint = (*Endpoint)(nil)
 
 // ID returns the processor this endpoint belongs to.
 func (e *Endpoint) ID() ids.ProcessorID { return e.id }
@@ -381,6 +384,15 @@ func (e *Endpoint) Notify() <-chan struct{} { return e.box.notify }
 // Pending reports the number of queued incoming frames.
 func (e *Endpoint) Pending() int { return e.box.len() }
 
+// Close implements transport.Endpoint: the processor drops off the LAN
+// (as Detach) and its mailbox shuts, waking any event loop parked on
+// Notify. The Network as a whole stays up for the other endpoints.
+func (e *Endpoint) Close() error {
+	e.net.Detach(e.id)
+	e.box.close()
+	return nil
+}
+
 // splitmix is a tiny deterministic RNG (splitmix64).
 type splitmix struct {
 	mu    sync.Mutex
@@ -399,5 +411,18 @@ func (s *splitmix) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// uint64n returns a value in [0, n). n must be > 0.
-func (s *splitmix) uint64n(n uint64) uint64 { return s.next() % n }
+// uint64n returns an unbiased value in [0, n). n must be > 0. It uses
+// Lemire's multiply-shift reduction with the rejection step: a plain
+// next()%n overrepresents the low residues whenever n does not divide
+// 2^64, which would skew fault-plan loss/delay draws against the
+// probabilities the scenario configured.
+func (s *splitmix) uint64n(n uint64) uint64 {
+	hi, lo := bits.Mul64(s.next(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.next(), n)
+		}
+	}
+	return hi
+}

@@ -1,7 +1,6 @@
 package orb
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -15,13 +14,20 @@ import (
 // VisiBroker deployment did. GIOP messages are self-framing (the header
 // carries the body size), so the stream needs no extra envelope.
 
-// readMessage reads one complete GIOP message from the stream.
+// readMessage reads one complete GIOP message from the stream. The header
+// is validated (magic, version, byte order) BEFORE its body-size field is
+// trusted: a desynchronized or non-IIOP stream fails fast here, instead of
+// a garbage size allocating up to 16 MiB and stalling in io.ReadFull
+// waiting for a body that will never arrive.
 func readMessage(r io.Reader) ([]byte, error) {
 	header := make([]byte, iiop.HeaderSize)
 	if _, err := io.ReadFull(r, header); err != nil {
 		return nil, err
 	}
-	size := binary.BigEndian.Uint32(header[8:12])
+	_, size, err := iiop.CheckHeader(header)
+	if err != nil {
+		return nil, fmt.Errorf("orb: %w", err)
+	}
 	const maxBody = 1 << 24
 	if size > maxBody {
 		return nil, fmt.Errorf("orb: GIOP body of %d bytes exceeds limit", size)
@@ -146,10 +152,23 @@ func (t *TCPTransport) readLoop() {
 	for {
 		raw, err := readMessage(t.conn)
 		if err != nil {
+			// Fail in-flight waiters with the read error itself, mapped
+			// to the CORBA COMM_FAILURE system exception — the standard
+			// mapping for a broken connection. Closing the channels
+			// instead would hand each waiter a nil reply
+			// indistinguishable from data (it surfaces as a parse error
+			// that hides the real cause). Each pending channel has
+			// capacity 1 and exactly one waiter, so the sends never
+			// block.
 			t.mu.Lock()
 			t.readErr = err
 			for id, ch := range t.pending {
-				close(ch)
+				rep := &iiop.Reply{
+					RequestID: id,
+					Status:    iiop.ReplySystemException,
+					Body:      encodeException(fmt.Sprintf("COMM_FAILURE: %v", err)),
+				}
+				ch <- rep.Marshal()
 				delete(t.pending, id)
 			}
 			t.mu.Unlock()
@@ -184,6 +203,14 @@ func (t *TCPTransport) Submit(request []byte, oneway bool) (<-chan []byte, error
 		if t.readErr != nil {
 			t.mu.Unlock()
 			return nil, fmt.Errorf("orb: connection broken: %w", t.readErr)
+		}
+		if _, dup := t.pending[msg.Request.RequestID]; dup {
+			// A duplicate id would silently overwrite the prior entry,
+			// orphaning its waiter forever (the reply demultiplexer
+			// delivers to whichever channel is in the map). Reject it;
+			// request-id allocation is the caller's contract.
+			t.mu.Unlock()
+			return nil, fmt.Errorf("orb: request id %d already in flight", msg.Request.RequestID)
 		}
 		t.pending[msg.Request.RequestID] = ch
 		t.mu.Unlock()

@@ -1,0 +1,178 @@
+package orb
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"immune/internal/iiop"
+)
+
+// TestReadMessageFailsFastOnGarbage is the regression test for the
+// header-trust bug: readMessage used to take the body-size field of ANY
+// 12 bytes at face value, so a desynchronized or non-IIOP stream could
+// claim a near-16 MiB body, allocate it, and stall in io.ReadFull until
+// the peer went away. With magic/version validation the same stream must
+// fail immediately, while the connection is still open.
+func TestReadMessageFailsFastOnGarbage(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	// 12 garbage bytes: wrong magic, and a size field claiming ~16 MiB.
+	garbage := []byte("XXXXXXXX")
+	garbage = append(garbage, 0x00, 0xff, 0xff, 0xff)
+	go func() {
+		server.Write(garbage)
+		// Keep the connection open: the pre-fix reader now blocks in
+		// io.ReadFull waiting for 16 MiB that never comes.
+	}()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := readMessage(client)
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("readMessage accepted a garbage header")
+		}
+		if !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("error %q does not identify the bad magic", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("readMessage stalled on a garbage header instead of failing fast")
+	}
+}
+
+// TestReadMessageRejectsBadVersion: right magic, wrong GIOP version.
+func TestReadMessageRejectsBadVersion(t *testing.T) {
+	header := []byte("GIOP")
+	header = append(header, 2, 0, 0, 0) // GIOP 2.0
+	header = binary.BigEndian.AppendUint32(header, 0)
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go server.Write(header)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := readMessage(client)
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("got %v, want a version error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("readMessage stalled on a bad version header")
+	}
+}
+
+// TestSubmitRejectsDuplicateRequestID is the regression test for the
+// pending-overwrite leak: submitting a second request with an in-flight
+// request id used to replace the first waiter's channel in the pending
+// map, so the first waiter could never be answered. The duplicate must be
+// rejected and the original invocation must still complete.
+func TestSubmitRejectsDuplicateRequestID(t *testing.T) {
+	adapter := NewAdapter()
+	if err := adapter.Register("ctr", &counterServant{}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	srv, err := NewTCPServer("127.0.0.1:0", adapter)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	defer srv.Close()
+	trans, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer trans.Close()
+
+	mkReq := func() []byte {
+		req := &iiop.Request{
+			RequestID:        77,
+			ResponseExpected: true,
+			ObjectKey:        []byte("ctr"),
+			Operation:        "get",
+		}
+		return req.Marshal()
+	}
+	ch, err := trans.Submit(mkReq(), false)
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if _, err := trans.Submit(mkReq(), false); err == nil {
+		t.Fatal("duplicate request id accepted; first waiter leaked")
+	}
+	select {
+	case raw := <-ch:
+		if _, err := decodeReply(raw); err != nil {
+			t.Fatalf("original invocation corrupted by the duplicate: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("original waiter starved after duplicate submit")
+	}
+}
+
+// TestMidInvocationDropDeliversReadError is the regression test for the
+// closed-pending-channel ambiguity: when the connection died mid-call,
+// waiters used to see a closed channel — a nil "reply" indistinguishable
+// from data that surfaced as a generic parse failure hiding the cause.
+// The stored read error must reach the waiter, mapped to the CORBA
+// COMM_FAILURE system exception.
+func TestMidInvocationDropDeliversReadError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	// A "server" that accepts, swallows the request, and drops the
+	// connection without replying.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 1024)
+		conn.Read(buf)
+		conn.Close()
+	}()
+
+	trans, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer trans.Close()
+	req := &iiop.Request{
+		RequestID:        1,
+		ResponseExpected: true,
+		ObjectKey:        []byte("ctr"),
+		Operation:        "get",
+	}
+	ch, err := trans.Submit(req.Marshal(), false)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	select {
+	case raw, ok := <-ch:
+		if !ok {
+			t.Fatal("pending channel closed: waiter got a nil reply indistinguishable from data")
+		}
+		_, err := decodeReply(raw)
+		invErr, isInv := err.(*InvocationError)
+		if !isInv {
+			t.Fatalf("got %v, want an InvocationError carrying the read error", err)
+		}
+		if invErr.Status != iiop.ReplySystemException ||
+			!strings.Contains(invErr.Message, "COMM_FAILURE") {
+			t.Fatalf("got %v, want a COMM_FAILURE system exception", invErr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never learned the connection died")
+	}
+}

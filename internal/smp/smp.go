@@ -15,9 +15,9 @@ import (
 	"immune/internal/detector"
 	"immune/internal/ids"
 	"immune/internal/membership"
-	"immune/internal/netsim"
 	"immune/internal/ring"
 	"immune/internal/sec"
+	"immune/internal/transport"
 	"immune/internal/wire"
 )
 
@@ -34,8 +34,11 @@ type Config struct {
 	Self    ids.ProcessorID
 	Members []ids.ProcessorID // initial processor membership
 	Suite   *sec.Suite
-	// Endpoint is the processor's attachment to the (simulated) LAN.
-	Endpoint *netsim.Endpoint
+	// Endpoint is the processor's attachment to the network: the
+	// deterministic simulator (*netsim.Endpoint) or a real-socket
+	// backend such as tcpmesh. The stack consumes only the transport
+	// seam — send, multicast, non-blocking receive, notify.
+	Endpoint transport.Endpoint
 	// Deliver receives data messages in total order. Required. Invoked
 	// from the stack's event goroutine; must not block.
 	Deliver func(Delivery)
@@ -371,7 +374,7 @@ func (s *Stack) loop() {
 	timer := time.NewTimer(s.cfg.PollInterval)
 	defer timer.Stop()
 	lastTick := time.Now()
-	batch := make([]netsim.Frame, 0, maxBatch)
+	batch := make([]transport.Frame, 0, maxBatch)
 	for {
 		select {
 		case <-s.stop:
@@ -443,7 +446,7 @@ func (s *Stack) loop() {
 // token frames in a drained batch, fanning the RSA work across bounded
 // workers, so the serial dispatch that follows finds every verdict
 // memoized. A no-op below LevelSignatures or for fewer than two tokens.
-func (s *Stack) preverify(batch []netsim.Frame) {
+func (s *Stack) preverify(batch []transport.Frame) {
 	if s.cfg.Suite.Level < sec.LevelSignatures {
 		return
 	}
@@ -465,7 +468,7 @@ func (s *Stack) preverify(batch []netsim.Frame) {
 }
 
 // dispatch routes one frame by wire kind.
-func (s *Stack) dispatch(f netsim.Frame) {
+func (s *Stack) dispatch(f transport.Frame) {
 	kind, err := wire.PeekKind(f.Payload)
 	if err != nil {
 		return

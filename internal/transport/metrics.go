@@ -1,0 +1,34 @@
+package transport
+
+import "immune/internal/obs"
+
+// Metrics are a socket backend's optional observability hooks. The zero
+// value is fully disabled (nil obs handles are no-ops).
+type Metrics struct {
+	FramesSent     *obs.Counter // frames handed to the wire (per receiver copy)
+	FramesReceived *obs.Counter // frames accepted into the recv queue
+	SendDropped    *obs.Counter // frames shed on the send side (full peer queue, no link)
+	RecvDropped    *obs.Counter // frames shed on the receive side (full recv queue, oversize, bad hello)
+	BytesSent      *obs.Counter // payload bytes handed to the wire
+	BytesReceived  *obs.Counter // payload bytes accepted into the recv queue
+	Reconnects     *obs.Counter // peer link (re-)establishments after the first
+	RecvQueueDepth *obs.Gauge   // current recv queue occupancy
+}
+
+// MetricsFrom registers the transport metric family in reg. A nil
+// registry yields the disabled zero value.
+func MetricsFrom(reg *obs.Registry) Metrics {
+	if reg == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		FramesSent:     reg.Counter("transport.frames_sent"),
+		FramesReceived: reg.Counter("transport.frames_received"),
+		SendDropped:    reg.Counter("transport.send_dropped"),
+		RecvDropped:    reg.Counter("transport.recv_dropped"),
+		BytesSent:      reg.Counter("transport.bytes_sent"),
+		BytesReceived:  reg.Counter("transport.bytes_received"),
+		Reconnects:     reg.Counter("transport.reconnects"),
+		RecvQueueDepth: reg.Gauge("transport.recv_queue_depth"),
+	}
+}

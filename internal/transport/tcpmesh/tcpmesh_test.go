@@ -1,0 +1,253 @@
+package tcpmesh
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"immune/internal/ids"
+	"immune/internal/transport"
+	"immune/internal/transport/transporttest"
+)
+
+// newMesh builds n endpoints over loopback. Listeners are pre-bound on
+// ":0" so the peer map carries real ports with no reservation races.
+func newMesh(t *testing.T, n int) *transporttest.Mesh {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	peers := make(map[ids.ProcessorID]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = ln
+		peers[ids.ProcessorID(i+1)] = ln.Addr().String()
+	}
+	eps := make([]transport.Endpoint, n)
+	for i := 0; i < n; i++ {
+		ep, err := New(Config{
+			Self:     ids.ProcessorID(i + 1),
+			Peers:    peers,
+			Listener: listeners[i],
+			Seed:     uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatalf("endpoint %d: %v", i+1, err)
+		}
+		eps[i] = ep
+	}
+	return &transporttest.Mesh{
+		Endpoints: eps,
+		Close: func() {
+			for _, ep := range eps {
+				ep.Close()
+			}
+		},
+	}
+}
+
+// TestTransportConformance runs the seam's conformance suite against the
+// real-socket backend over loopback.
+func TestTransportConformance(t *testing.T) {
+	transporttest.Run(t, newMesh)
+}
+
+// waitFrame drains ep until a frame arrives or the deadline expires.
+func waitFrame(t *testing.T, ep transport.Endpoint, deadline time.Duration) transport.Frame {
+	t.Helper()
+	limit := time.After(deadline)
+	for {
+		if f, ok := ep.TryRecv(); ok {
+			return f
+		}
+		select {
+		case <-ep.Notify():
+		case <-limit:
+			t.Fatalf("no frame at %s within %v", ep.ID(), deadline)
+		}
+	}
+}
+
+// TestReconnectAfterPeerRestart kills one endpoint mid-conversation,
+// restarts it on the same address, and asserts the surviving peer's
+// dialer re-establishes the link with backoff and frames flow again —
+// the processor-repair path of a real deployment.
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	peers := map[ids.ProcessorID]string{
+		1: lnA.Addr().String(),
+		2: lnB.Addr().String(),
+	}
+	a, err := New(Config{Self: 1, Peers: peers, Listener: lnA, Seed: 1,
+		DialBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("endpoint a: %v", err)
+	}
+	defer a.Close()
+	b, err := New(Config{Self: 2, Peers: peers, Listener: lnB, Seed: 2})
+	if err != nil {
+		t.Fatalf("endpoint b: %v", err)
+	}
+
+	a.Send(2, []byte("before"))
+	if f := waitFrame(t, b, 10*time.Second); string(f.Payload) != "before" {
+		t.Fatalf("got %q, want before", f.Payload)
+	}
+
+	// Take b down; the address stays reserved by re-binding immediately.
+	if err := b.Close(); err != nil {
+		t.Fatalf("close b: %v", err)
+	}
+	lnB2, err := net.Listen("tcp", lnB.Addr().String())
+	if err != nil {
+		t.Fatalf("rebind %s: %v", lnB.Addr(), err)
+	}
+	b2, err := New(Config{Self: 2, Peers: peers, Listener: lnB2, Seed: 3})
+	if err != nil {
+		t.Fatalf("endpoint b2: %v", err)
+	}
+	defer b2.Close()
+
+	// a's established link to the dead b breaks on some send; frames in
+	// that window are shed (best effort). Keep sending until one lands
+	// on the restarted instance.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		a.Send(2, []byte("after"))
+		if _, ok := b2.TryRecv(); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no frame reached the restarted peer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSendQueueBound pins the shed-don't-block contract: with no
+// reachable peer, sends beyond the bounded queue drop immediately
+// instead of blocking the caller or growing memory.
+func TestSendQueueBound(t *testing.T) {
+	// Reserve an address with nothing listening: dial attempts fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	a, err := New(Config{
+		Self:         1,
+		Peers:        map[ids.ProcessorID]string{1: lnA.Addr().String(), 2: deadAddr},
+		Listener:     lnA,
+		Seed:         1,
+		MaxSendQueue: 8,
+	})
+	if err != nil {
+		t.Fatalf("endpoint: %v", err)
+	}
+	defer a.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10000; i++ {
+			a.Send(2, []byte("doomed"))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Send blocked on an unreachable peer")
+	}
+}
+
+// TestOversizeFrameKillsConnection: a length prefix past MaxFrame must
+// fail fast instead of allocating and stalling on a read — the same
+// desync-hardening the GIOP reader got.
+func TestOversizeFrameKillsConnection(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	a, err := New(Config{
+		Self:     1,
+		Peers:    map[ids.ProcessorID]string{1: lnA.Addr().String()},
+		Listener: lnA,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatalf("endpoint: %v", err)
+	}
+	defer a.Close()
+
+	conn, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if err := writeHello(conn, 2); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	// Claim a body far past the limit, then stop: a reader that trusts
+	// the prefix would allocate and block in io.ReadFull forever.
+	if _, err := conn.Write([]byte{0xff, 0xff, 0xff, 0xff}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection survived an oversize frame claim")
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("oversize frame was delivered (%d pending)", a.Pending())
+	}
+}
+
+// TestBadHelloRejected: a stream that does not speak the mesh protocol
+// is cut before any frame can be forged into the recv queue.
+func TestBadHelloRejected(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	a, err := New(Config{
+		Self:     1,
+		Peers:    map[ids.ProcessorID]string{1: lnA.Addr().String()},
+		Listener: lnA,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatalf("endpoint: %v", err)
+	}
+	defer a.Close()
+
+	conn, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection survived a bad hello")
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("bad-hello stream delivered frames (%d pending)", a.Pending())
+	}
+}

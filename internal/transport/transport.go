@@ -1,0 +1,66 @@
+// Package transport defines the Immune system's pluggable network seam:
+// the endpoint contract the Secure Multicast Protocols (internal/smp) run
+// over. The paper deployed the protocols on a real 100 Mbps Ethernet LAN
+// under VisiBroker; this reproduction grew up inside a deterministic
+// simulator. Promoting the implicit endpoint contract into a first-class
+// interface lets the same protocol stack run over either backend:
+//
+//   - internal/netsim: the deterministic in-process simulator, with seeded
+//     fault injection (the default for tests and benchmarks), and
+//   - internal/transport/tcpmesh: a real-socket mesh of length-prefixed
+//     frames over TCP, so N OS processes form a genuine ring with honest
+//     serialization, loss, and reconnect behavior.
+//
+// The contract deliberately mirrors the paper's system model (§3): an
+// asynchronous, completely connected network whose channels are unreliable
+// and unauthenticated. Send and Multicast are therefore fire-and-forget —
+// an Endpoint never reports delivery, and a backend is free to drop frames
+// (full queues, dead peers, lost datagrams). The protocols above already
+// tolerate exactly that.
+package transport
+
+import "immune/internal/ids"
+
+// Broadcast is the reserved destination meaning "all attached processors
+// except the sender" (physical multicast on a LAN segment, software
+// fan-out on a mesh backend).
+const Broadcast = ids.ProcessorID(0xffffffff)
+
+// Frame is one network-level datagram as seen by a receiver.
+type Frame struct {
+	From    ids.ProcessorID
+	To      ids.ProcessorID // Broadcast for multicast frames
+	Payload []byte
+}
+
+// Endpoint is one processor's attachment to the network. Implementations
+// must be safe for concurrent use. The receive side is pull-based: an
+// event loop sleeps on Notify and drains with TryRecv, so a single
+// goroutine owns protocol state while the backend owns socket goroutines.
+//
+// Payload ownership: Send and Multicast must not retain the payload after
+// returning (callers reuse and mutate their buffers — the ring's
+// retransmission store aliases them). Conversely, a Frame returned by
+// TryRecv is owned by the receiver; the backend must never write to it
+// again.
+type Endpoint interface {
+	// ID returns the processor this endpoint belongs to.
+	ID() ids.ProcessorID
+	// Send transmits a unicast frame, best effort.
+	Send(to ids.ProcessorID, payload []byte)
+	// Multicast transmits a frame to every other processor, best effort.
+	Multicast(payload []byte)
+	// TryRecv returns the next queued incoming frame without blocking.
+	TryRecv() (Frame, bool)
+	// Notify returns an edge-trigger channel: readable when a frame may
+	// have arrived, closed when the endpoint shuts down. After receiving
+	// from it, drain with TryRecv until empty — a notification is not a
+	// frame count.
+	Notify() <-chan struct{}
+	// Pending reports the number of queued incoming frames.
+	Pending() int
+	// Close detaches the endpoint from the network: subsequent sends are
+	// discarded, no further frames arrive, and Notify's channel is closed
+	// so event loops wake for shutdown. Closing twice is a no-op.
+	Close() error
+}

@@ -1,0 +1,289 @@
+// Package transporttest is the transport seam's conformance suite: a set
+// of behavioral tests every transport.Endpoint backend must pass, run by
+// both the deterministic simulator (internal/netsim) and the real-socket
+// mesh (internal/transport/tcpmesh). It pins down the contract the Secure
+// Multicast Protocols actually rely on — delivery, fan-out, payload
+// isolation, notify wake-ups, close semantics, and race-freedom under
+// concurrent senders — without assuming reliability: a backend is allowed
+// to drop frames, so assertions wait for what does arrive instead of
+// demanding synchronous handoff.
+package transporttest
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"immune/internal/ids"
+	"immune/internal/transport"
+)
+
+// Mesh is one connected deployment of n endpoints under test.
+type Mesh struct {
+	// Endpoints are the attached endpoints; Endpoints[i] has whatever ID
+	// the backend assigned (use Endpoint.ID, do not assume 1..n).
+	Endpoints []transport.Endpoint
+	// Close tears the whole mesh down (called once per subtest, after
+	// individual endpoints may already have been Closed).
+	Close func()
+}
+
+// Factory builds a fresh, fully connected mesh of n endpoints.
+type Factory func(t *testing.T, n int) *Mesh
+
+// waitDeadline bounds every arrival wait; loopback sockets and the
+// zero-latency simulator are both far faster than this.
+const waitDeadline = 10 * time.Second
+
+// collect drains ep until want frames have arrived or the deadline
+// expires, sleeping on Notify between drains.
+func collect(t *testing.T, ep transport.Endpoint, want int) []transport.Frame {
+	t.Helper()
+	var got []transport.Frame
+	deadline := time.After(waitDeadline)
+	for len(got) < want {
+		if f, ok := ep.TryRecv(); ok {
+			got = append(got, f)
+			continue
+		}
+		select {
+		case <-ep.Notify():
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d frames at %s", len(got), want, ep.ID())
+		}
+	}
+	return got
+}
+
+// Run executes the conformance suite against the factory's backend.
+func Run(t *testing.T, mk Factory) {
+	t.Run("UnicastDelivery", func(t *testing.T) {
+		m := mk(t, 3)
+		defer m.Close()
+		a, b, c := m.Endpoints[0], m.Endpoints[1], m.Endpoints[2]
+		a.Send(b.ID(), []byte("hello"))
+		got := collect(t, b, 1)
+		if got[0].From != a.ID() || !bytes.Equal(got[0].Payload, []byte("hello")) {
+			t.Fatalf("got frame %+v, want from=%s payload=hello", got[0], a.ID())
+		}
+		if b.Pending() != 0 {
+			t.Fatalf("pending = %d after drain, want 0", b.Pending())
+		}
+		// Unicast must not leak to third parties or echo to the sender.
+		time.Sleep(20 * time.Millisecond)
+		if c.Pending() != 0 || a.Pending() != 0 {
+			t.Fatalf("unicast leaked: a=%d c=%d pending", a.Pending(), c.Pending())
+		}
+	})
+
+	t.Run("MulticastFanOut", func(t *testing.T) {
+		m := mk(t, 4)
+		defer m.Close()
+		sender := m.Endpoints[0]
+		sender.Multicast([]byte("mc"))
+		for _, ep := range m.Endpoints[1:] {
+			got := collect(t, ep, 1)
+			if got[0].From != sender.ID() || !bytes.Equal(got[0].Payload, []byte("mc")) {
+				t.Fatalf("%s got %+v", ep.ID(), got[0])
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		if sender.Pending() != 0 {
+			t.Fatalf("multicast echoed to its sender (%d pending)", sender.Pending())
+		}
+	})
+
+	t.Run("PayloadIsolation", func(t *testing.T) {
+		m := mk(t, 3)
+		defer m.Close()
+		sender := m.Endpoints[0]
+		buf := []byte("payload-isolation")
+		orig := append([]byte(nil), buf...)
+		sender.Multicast(buf)
+		// The caller's buffer is reusable the moment Send returns.
+		for i := range buf {
+			buf[i] = 0xee
+		}
+		frames := make([]transport.Frame, 0, 2)
+		for _, ep := range m.Endpoints[1:] {
+			frames = append(frames, collect(t, ep, 1)[0])
+		}
+		for _, f := range frames {
+			if !bytes.Equal(f.Payload, orig) {
+				t.Fatalf("delivered payload aliases the sender's buffer: %q", f.Payload)
+			}
+		}
+		// One receiver's frame is private: mutating it must not bleed
+		// into another receiver's copy.
+		for i := range frames[0].Payload {
+			frames[0].Payload[i] = 0x5a
+		}
+		if !bytes.Equal(frames[1].Payload, orig) {
+			t.Fatalf("receivers share a backing array: %q", frames[1].Payload)
+		}
+	})
+
+	t.Run("PerSenderOrdering", func(t *testing.T) {
+		// Loss-free configurations of both backends preserve per-sender
+		// order on a quiet link (TCP stream; simulator handoff). The ring
+		// protocol does not require it, but silent reordering in a
+		// backend would mask protocol bugs in deterministic tests.
+		m := mk(t, 3)
+		defer m.Close()
+		a, b := m.Endpoints[0], m.Endpoints[1]
+		const n = 200
+		for i := 0; i < n; i++ {
+			a.Send(b.ID(), []byte(fmt.Sprintf("seq-%03d", i)))
+		}
+		got := collect(t, b, n)
+		for i, f := range got {
+			if want := fmt.Sprintf("seq-%03d", i); string(f.Payload) != want {
+				t.Fatalf("frame %d = %q, want %q", i, f.Payload, want)
+			}
+		}
+	})
+
+	t.Run("NotifyWakesSleeper", func(t *testing.T) {
+		m := mk(t, 3)
+		defer m.Close()
+		a, b := m.Endpoints[0], m.Endpoints[1]
+		woke := make(chan struct{})
+		go func() {
+			<-b.Notify()
+			close(woke)
+		}()
+		time.Sleep(10 * time.Millisecond) // let the sleeper park
+		a.Send(b.ID(), []byte("wake"))
+		select {
+		case <-woke:
+		case <-time.After(waitDeadline):
+			t.Fatal("Notify never woke the sleeping receiver")
+		}
+		collect(t, b, 1)
+	})
+
+	t.Run("TryRecvNonBlocking", func(t *testing.T) {
+		m := mk(t, 3)
+		defer m.Close()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if _, ok := m.Endpoints[0].TryRecv(); ok {
+				t.Error("TryRecv returned a frame from an empty queue")
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(waitDeadline):
+			t.Fatal("TryRecv blocked on an empty queue")
+		}
+	})
+
+	t.Run("CloseSemantics", func(t *testing.T) {
+		m := mk(t, 3)
+		defer m.Close()
+		a, b := m.Endpoints[0], m.Endpoints[1]
+		if err := b.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+		// A closed endpoint's Notify channel is closed: event loops
+		// parked on it must wake for shutdown.
+		select {
+		case _, ok := <-b.Notify():
+			if ok {
+				// A buffered pre-close notification may surface first;
+				// the channel must still be closed behind it.
+				if _, ok := <-b.Notify(); ok {
+					t.Fatal("Notify channel not closed after Close")
+				}
+			}
+		case <-time.After(waitDeadline):
+			t.Fatal("Notify channel not closed after Close")
+		}
+		// Sends involving a closed endpoint are discarded, not panics.
+		a.Send(b.ID(), []byte("into the void"))
+		b.Send(a.ID(), []byte("from the void"))
+		b.Multicast([]byte("from the void"))
+	})
+
+	t.Run("DetachCloseRace", func(t *testing.T) {
+		// Close must be safe while senders and a draining receiver are
+		// live — the shutdown path of a real node (-race catches the
+		// rest).
+		m := mk(t, 3)
+		defer m.Close()
+		a, b, c := m.Endpoints[0], m.Endpoints[1], m.Endpoints[2]
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for _, src := range []transport.Endpoint{a, c} {
+			wg.Add(1)
+			go func(src transport.Endpoint) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					src.Send(b.ID(), []byte{byte(i)})
+					src.Multicast([]byte{byte(i)})
+				}
+			}(src)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := b.TryRecv(); !ok {
+					select {
+					case _, open := <-b.Notify():
+						if !open {
+							return
+						}
+					case <-stop:
+						return
+					}
+				}
+			}
+		}()
+		time.Sleep(50 * time.Millisecond)
+		b.Close()
+		close(stop)
+		wg.Wait()
+	})
+
+	t.Run("ConcurrentSenders", func(t *testing.T) {
+		m := mk(t, 4)
+		defer m.Close()
+		dst := m.Endpoints[0]
+		const perSender = 50
+		var wg sync.WaitGroup
+		for _, src := range m.Endpoints[1:] {
+			wg.Add(1)
+			go func(src transport.Endpoint) {
+				defer wg.Done()
+				for i := 0; i < perSender; i++ {
+					src.Send(dst.ID(), []byte{byte(i)})
+				}
+			}(src)
+		}
+		wg.Wait()
+		// Loss-free configurations on an idle machine deliver everything;
+		// the bounded queues are far larger than this burst.
+		got := collect(t, dst, perSender*(len(m.Endpoints)-1))
+		counts := make(map[ids.ProcessorID]int)
+		for _, f := range got {
+			counts[f.From]++
+		}
+		for _, src := range m.Endpoints[1:] {
+			if counts[src.ID()] != perSender {
+				t.Fatalf("received %d/%d frames from %s", counts[src.ID()], perSender, src.ID())
+			}
+		}
+	})
+}
