@@ -55,12 +55,26 @@ func main() {
 		"JSON mode only: include each replicated case's metric snapshot (per-layer counters and trace stage breakdowns) in the report and fail if a required protocol counter stayed zero")
 	saturate := flag.Duration("saturate", 0,
 		"run the overload smoke instead: drive unpaced one-way load for this duration against tight queue bounds and fail on any backpressure invariant violation")
+	ringsCSV := flag.String("rings", "",
+		"run the ring-sharding sweep instead: comma-separated ring counts (e.g. 1,2,4); aggregate throughput per count, written to -json PATH as the BENCH_3 schema when set")
+	window := flag.Duration("window", 2500*time.Millisecond,
+		"rings mode only: measurement window per ring count (after warmup)")
 	memCeiling := flag.Int("memceiling", 0,
 		"saturate mode only: fail if peak heap exceeds this many MB (0 disables)")
 	flag.Parse()
 
 	if *saturate > 0 {
 		if err := runSaturate(*saturate, *payload, *memCeiling); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *ringsCSV != "" {
+		counts, err := parseRingCounts(*ringsCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runRings(*jsonPath, counts, *payload, *window); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"sort"
@@ -62,6 +63,7 @@ func run() error {
 		levelFlag = flag.String("level", "signatures", "survivability level: none, digests, or signatures")
 		degree    = flag.Int("degree", 3, "server replication degree (processors 1..degree host the account)")
 		ops       = flag.Int("ops", 5, "deposits each teller performs")
+		rings     = flag.Int("rings", 1, "token rings to shard object groups over; ring r listens on port+1000*r")
 		runFor    = flag.Duration("run", 0, "server-only lifetime; 0 means until SIGINT/SIGTERM")
 		timeout   = flag.Duration("timeout", 90*time.Second, "client deadline for completing all operations")
 		metrics   = flag.Bool("metrics", false, "dump transport metrics on exit")
@@ -89,14 +91,23 @@ func run() error {
 	tm := transport.MetricsFrom(reg)
 	cfg := immune.Config{
 		Processors:      n,
+		Rings:           *rings,
 		Level:           level,
 		Seed:            *seed,
 		LocalProcessors: local,
-		Transport: func(p immune.ProcessorID) (immune.TransportEndpoint, error) {
+		// Each ring runs its own TCP mesh: ring r's addresses are the
+		// -peers map shifted up by 1000*r ports, so one flag describes
+		// every ring's membership.
+		Transport: func(p immune.ProcessorID, ring int) (immune.TransportEndpoint, error) {
+			ringPeers, err := shiftPeers(peers, ring*1000)
+			if err != nil {
+				return nil, err
+			}
 			return tcpmesh.New(tcpmesh.Config{
 				Self:    p,
-				Peers:   peers,
-				Listen:  peers[p],
+				Ring:    ring,
+				Peers:   ringPeers,
+				Listen:  ringPeers[p],
 				Seed:    *seed,
 				Metrics: tm,
 			})
@@ -228,6 +239,31 @@ func invokeUntil(obj *immune.Object, op string, args []byte, deadline time.Time)
 		time.Sleep(50 * time.Millisecond)
 	}
 	return nil, fmt.Errorf("deadline expired: %w", lastErr)
+}
+
+// shiftPeers returns the peer map with every port moved up by delta —
+// ring r's mesh listens alongside ring 0's at a fixed stride.
+func shiftPeers(peers map[ids.ProcessorID]string, delta int) (map[ids.ProcessorID]string, error) {
+	if delta == 0 {
+		return peers, nil
+	}
+	shifted := make(map[ids.ProcessorID]string, len(peers))
+	for id, addr := range peers {
+		host, portStr, err := net.SplitHostPort(addr)
+		if err != nil {
+			return nil, fmt.Errorf("peer %s address %q: %w", id, addr, err)
+		}
+		port, err := strconv.Atoi(portStr)
+		if err != nil {
+			return nil, fmt.Errorf("peer %s port %q: %w", id, portStr, err)
+		}
+		port += delta
+		if port > 65535 {
+			return nil, fmt.Errorf("peer %s ring port %d exceeds 65535", id, port)
+		}
+		shifted[id] = net.JoinHostPort(host, strconv.Itoa(port))
+	}
+	return shifted, nil
 }
 
 func parsePeers(s string) (map[ids.ProcessorID]string, error) {

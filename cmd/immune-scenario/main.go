@@ -28,11 +28,11 @@ import (
 // report is the BENCH_SCENARIO.json schema: one entry per scenario run,
 // quantiles in microseconds for cross-run trend diffing.
 type report struct {
-	Schema    string                    `json:"schema"`
-	GoVersion string                    `json:"go_version"`
-	GOOS      string                    `json:"goos"`
-	GOARCH    string                    `json:"goarch"`
-	Scenarios map[string]scenarioEntry  `json:"scenarios"`
+	Schema    string                   `json:"schema"`
+	GoVersion string                   `json:"go_version"`
+	GOOS      string                   `json:"goos"`
+	GOARCH    string                   `json:"goarch"`
+	Scenarios map[string]scenarioEntry `json:"scenarios"`
 }
 
 type scenarioEntry struct {

@@ -149,6 +149,15 @@ type Config struct {
 	// testbed used six). A system of n processors tolerates
 	// ⌊(n−1)/3⌋ faulty ones.
 	Processors int
+	// Rings shards object groups across this many independent token
+	// rings per processor (multi-ring sharding): each group's total
+	// order lives on its home ring, chosen by a consistent hash of the
+	// group id (RingOf), and invocations crossing rings are forwarded
+	// transparently. Aggregate throughput scales with the ring count
+	// while per-group ordering guarantees are unchanged. Zero or one
+	// means a single ring (legacy behavior and metric names); higher
+	// counts prefix each ring's protocol metrics with "rN.".
+	Rings int
 	// Level is the survivability level; zero means LevelSignatures.
 	Level Level
 	// ModulusBits is the RSA modulus size; zero means the paper's 300.
@@ -217,10 +226,12 @@ type Config struct {
 	// negative disables expiry.
 	BacklogTTL time.Duration
 	// Transport optionally supplies each hosted processor's network
-	// endpoint, replacing the built-in simulated LAN with a real-socket
-	// backend. When set, the netsim knobs (NetLatency, NetJitter, Plan)
+	// endpoints, replacing the built-in simulated LAN with a real-socket
+	// backend. It is called once per (processor, ring) pair — a sharded
+	// deployment runs one mesh per ring (ring is always 0 when Rings
+	// <= 1). When set, the netsim knobs (NetLatency, NetJitter, Plan)
 	// and CrashProcessor do not apply, and Stop closes the endpoints.
-	Transport func(p ProcessorID) (TransportEndpoint, error)
+	Transport func(p ProcessorID, ring int) (TransportEndpoint, error)
 	// LocalProcessors restricts which of the 1..Processors identifiers
 	// this OS process hosts (multi-process deployments run one per
 	// process while the ring membership stays 1..Processors). Empty
@@ -243,6 +254,7 @@ type System struct {
 func New(cfg Config) (*System, error) {
 	inner, err := core.NewSystem(core.Config{
 		Processors:         cfg.Processors,
+		RingCount:          cfg.Rings,
 		Level:              cfg.Level,
 		ModulusBits:        cfg.ModulusBits,
 		MaxPerVisit:        cfg.TokenBatch,
@@ -292,6 +304,12 @@ func (s *System) Processor(id ProcessorID) (*Processor, error) {
 
 // Processors lists all processor identifiers.
 func (s *System) Processors() []ProcessorID { return s.inner.Processors() }
+
+// Rings returns the number of token rings groups are sharded over.
+func (s *System) Rings() int { return s.inner.RingCount() }
+
+// RingOf returns the home ring of an object group in this system.
+func (s *System) RingOf(g GroupID) int { return s.inner.RingOf(g) }
 
 // MaxFaulty returns ⌊(n−1)/3⌋, the number of faulty processors tolerated.
 func (s *System) MaxFaulty() int { return s.inner.MaxFaulty() }
@@ -409,6 +427,11 @@ func MaxFaultyProcessors(n int) int { return core.MaxFaulty(n) }
 // MinCorrectReplicas returns ⌈(r+1)/2⌉, the correct-replica requirement
 // for a group of degree r (§3.1).
 func MinCorrectReplicas(r int) int { return core.MinCorrectReplicas(r) }
+
+// RingOf returns the home ring a group id maps to in a system sharded
+// over rings token rings (consistent hashing; deterministic across
+// processes). Useful for choosing group ids that spread load evenly.
+func RingOf(g GroupID, rings int) int { return core.RingOf(g, rings) }
 
 // Processor is one simulated host.
 type Processor struct {

@@ -6,14 +6,26 @@
 // client and server objects on the processors and invoke operations
 // through ordinary CORBA stubs; every invocation and response is majority
 // voted.
+//
+// With Config.RingCount > 1 the system shards object groups across that
+// many independent SMP stacks per processor (multi-ring sharding): each
+// group's total order lives on its home ring — chosen by a consistent
+// hash of the group id (RingOf) — and a routing layer forwards
+// invocations and responses to the destination group's home ring, so a
+// client ordered on ring A can invoke a server group homed on ring B.
+// Total order is only ever needed within a group (the LLFT observation),
+// which makes a ring an ideal shard unit: per-group ordering guarantees
+// are untouched while aggregate throughput scales with the ring count.
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"immune/internal/group"
 	"immune/internal/ids"
 	"immune/internal/interceptor"
 	"immune/internal/membership"
@@ -34,6 +46,11 @@ type Config struct {
 	// Processors is the number of simulated processors (the paper's
 	// testbed used six). Identifiers are assigned 1..n.
 	Processors int
+	// RingCount shards object groups across this many independent SMP
+	// stacks per processor (see RingOf). 0 or 1 means a single ring with
+	// the legacy behavior and metric names; higher values label each
+	// ring's metrics with an "rN." prefix.
+	RingCount int
 	// Level is the survivability level (Figure 7 cases 2–4). Zero means
 	// sec.LevelSignatures (full survivability).
 	Level sec.Level
@@ -47,7 +64,9 @@ type Config struct {
 	// immediate handoff.
 	NetLatency time.Duration
 	NetJitter  time.Duration
-	// Plan optionally injects network faults (Table 1 experiments).
+	// Plan optionally injects network faults (Table 1 experiments). With
+	// multiple rings the same plan is applied to every ring's network
+	// (FaultPlan implementations must be safe for concurrent use).
 	Plan netsim.FaultPlan
 	// CallTimeout bounds replicated two-way invocations; 0 means 10s.
 	CallTimeout time.Duration
@@ -98,12 +117,14 @@ type Config struct {
 	// replication.DefaultBacklogTTL; negative disables expiry.
 	BacklogTTL time.Duration
 	// Transport optionally supplies each hosted processor's network
-	// endpoint, replacing the built-in simulated LAN with a real-socket
-	// backend (internal/transport/tcpmesh). When set, the netsim knobs
-	// (NetLatency, NetJitter, Plan, Seeded network faults) do not apply,
-	// CrashProcessor/ReattachProcessor are no-ops, and NetStats reports
-	// zeros; Stop closes the supplied endpoints.
-	Transport func(p ids.ProcessorID) (transport.Endpoint, error)
+	// endpoints, replacing the built-in simulated LAN with a real-socket
+	// backend (internal/transport/tcpmesh). It is called once per
+	// (processor, ring) pair — a multi-ring deployment runs one mesh per
+	// ring. When set, the netsim knobs (NetLatency, NetJitter, Plan,
+	// seeded network faults) do not apply, CrashProcessor /
+	// ReattachProcessor are no-ops, and NetStats reports zeros; Stop
+	// closes the supplied endpoints exactly once.
+	Transport func(p ids.ProcessorID, ring int) (transport.Endpoint, error)
 	// LocalProcessors restricts which of the 1..Processors identifiers
 	// this OS process hosts — a multi-process deployment runs one (or a
 	// few) per process while the full membership stays 1..Processors.
@@ -111,7 +132,7 @@ type Config struct {
 	// span processes.
 	LocalProcessors []ids.ProcessorID
 	// OnMembershipChange, if set, observes processor membership installs
-	// (invoked once per processor per install).
+	// (invoked once per processor per ring per install).
 	OnMembershipChange func(self ids.ProcessorID, inst membership.Install)
 	// DisableMetrics turns the observability layer off: no registry or
 	// tracer is created, and every protocol-layer hook is a nil no-op
@@ -132,21 +153,72 @@ func MaxFaulty(n int) int {
 // required in a group of r (paper §3.1).
 func MinCorrectReplicas(r int) int { return (r + 2) / 2 }
 
-// System is one Immune deployment: processors, network, protocol stacks.
+// RingOf maps an object group to its home ring among rings shards using
+// Jump Consistent Hash (Lamping & Veach) over a splitmix64-mixed group
+// id. Group ids are small consecutive integers in practice; the mix
+// spreads them uniformly, and jump hash then moves a minimal fraction of
+// groups when the ring count changes. Deterministic across processes and
+// runs — every processor computes the same home ring.
+func RingOf(g ids.ObjectGroupID, rings int) int {
+	if rings <= 1 {
+		return 0
+	}
+	key := uint64(g)
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	key *= 0x94d049bb133111eb
+	key ^= key >> 31
+	var b, j int64 = -1, 0
+	for j < int64(rings) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// metricPrefix labels one ring's metric families. A single-ring system
+// keeps the legacy unprefixed names.
+func metricPrefix(r, rings int) string {
+	if rings <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("r%d.", r)
+}
+
+// ringSeedSalt decorrelates per-ring randomness (network scheduling,
+// retry jitter) while keeping ring 0 of a single-ring system on exactly
+// the legacy seed schedule.
+func ringSeedSalt(r int) uint64 {
+	if r == 0 {
+		return 0
+	}
+	return uint64(r) * 0x9e3779b97f4a7c15
+}
+
+// System is one Immune deployment: processors, networks, protocol stacks.
 type System struct {
 	cfg     Config
-	net     *netsim.Network // nil when Config.Transport supplies endpoints
+	rings   int
+	nets    []*netsim.Network // one per ring; empty when Config.Transport supplies endpoints
 	procs   map[ids.ProcessorID]*Processor
 	order   []ids.ProcessorID // processors hosted in this OS process
 	members []ids.ProcessorID // full ring membership (1..Processors)
 	rec     *recovery.Manager
-	reg    *obs.Registry // nil when DisableMetrics
-	tracer *obs.Tracer   // nil when DisableMetrics
-	actCh  chan struct{} // edge-trigger: replica activity (WaitGroupActive)
+	reg     *obs.Registry // nil when DisableMetrics
+	tracer  *obs.Tracer   // nil when DisableMetrics
+	actCh   chan struct{} // edge-trigger: replica activity (WaitGroupActive)
+
+	// Cross-ring observability (no-ops when metrics are disabled).
+	mirrorsSent   *obs.Counter
+	mirrorDropped *obs.Counter
+	crossRouted   *obs.Counter
+
+	stopOnce sync.Once
 
 	mu      sync.Mutex
 	started bool
-	stopped bool
 	specs   map[ids.ObjectGroupID]*groupSpec
 }
 
@@ -159,20 +231,37 @@ type groupSpec struct {
 	factory func() orb.Servant
 }
 
-// Processor is one simulated host: its protocol stack, Replication
-// Manager, and the factory for local replicas and ORBs.
+// Processor is one simulated host: its per-ring protocol stacks,
+// Replication Managers, and the factory for local replicas and ORBs.
+// Index r of each slice belongs to ring r.
 type Processor struct {
-	id    ids.ProcessorID
-	sys   *System
-	ep    transport.Endpoint
-	stack *smp.Stack
-	mgr   *replication.Manager
+	id     ids.ProcessorID
+	sys    *System
+	eps    []transport.Endpoint
+	stacks []*smp.Stack
+	mgrs   []*replication.Manager
 }
 
-// NewSystem builds (but does not start) an Immune system.
+// mgrFor returns the Replication Manager on this processor for the given
+// group's home ring.
+func (p *Processor) mgrFor(g ids.ObjectGroupID) *replication.Manager {
+	return p.mgrs[RingOf(g, p.sys.rings)]
+}
+
+// NewSystem builds (but does not start) an Immune system. On error every
+// endpoint and network created so far is closed — a failed construction
+// leaks nothing, and the caller never races Stop against it (no System is
+// returned to call Stop on).
 func NewSystem(cfg Config) (*System, error) {
 	if cfg.Processors <= 0 {
 		return nil, fmt.Errorf("core: at least one processor required")
+	}
+	if cfg.RingCount < 0 {
+		return nil, fmt.Errorf("core: negative ring count %d", cfg.RingCount)
+	}
+	rings := cfg.RingCount
+	if rings == 0 {
+		rings = 1
 	}
 	if cfg.Level == 0 {
 		cfg.Level = sec.LevelSignatures
@@ -195,20 +284,46 @@ func NewSystem(cfg Config) (*System, error) {
 
 	s := &System{
 		cfg:    cfg,
+		rings:  rings,
 		procs:  make(map[ids.ProcessorID]*Processor, cfg.Processors),
 		specs:  make(map[ids.ObjectGroupID]*groupSpec),
 		reg:    reg,
 		tracer: tracer,
 		actCh:  make(chan struct{}, 1),
 	}
+	if rings > 1 {
+		s.mirrorsSent = reg.Counter("core.mirrors_sent")
+		s.mirrorDropped = reg.Counter("core.mirror_dropped")
+		s.crossRouted = reg.Counter("core.cross_ring_routed")
+	}
+
+	// Everything constructed before a failure must be torn down on that
+	// failure: transport endpoints own sockets and goroutines, simulated
+	// networks own timers.
+	ok := false
+	var createdEps []transport.Endpoint
+	defer func() {
+		if ok {
+			return
+		}
+		for _, ep := range createdEps {
+			ep.Close()
+		}
+		for _, n := range s.nets {
+			n.Close()
+		}
+	}()
+
 	if cfg.Transport == nil {
-		s.net = netsim.New(netsim.Config{
-			Latency: cfg.NetLatency,
-			Jitter:  cfg.NetJitter,
-			Plan:    cfg.Plan,
-			Seed:    cfg.Seed,
-			Metrics: netsim.MetricsFrom(reg),
-		})
+		for r := 0; r < rings; r++ {
+			s.nets = append(s.nets, netsim.New(netsim.Config{
+				Latency: cfg.NetLatency,
+				Jitter:  cfg.NetJitter,
+				Plan:    cfg.Plan,
+				Seed:    cfg.Seed ^ ringSeedSalt(r),
+				Metrics: netsim.MetricsFromPrefix(reg, metricPrefix(r, rings)),
+			}))
+		}
 	}
 
 	members := make([]ids.ProcessorID, cfg.Processors)
@@ -240,7 +355,9 @@ func NewSystem(cfg Config) (*System, error) {
 	// Key generation covers the FULL membership, not just the local
 	// processors: every process of a multi-process deployment derives
 	// the same keyring from the shared seed, so each knows every peer's
-	// public key while using only its own private one.
+	// public key while using only its own private one. One keypair per
+	// processor serves all of its rings (KeyPair is immutable after
+	// generation, so per-ring suites may share it).
 	keyRing := sec.NewKeyRing()
 	keys := make(map[ids.ProcessorID]*sec.KeyPair, cfg.Processors)
 	if cfg.Level >= sec.LevelSignatures {
@@ -255,71 +372,97 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 
 	for _, p := range local {
-		var ep transport.Endpoint
-		var err error
-		if cfg.Transport != nil {
-			ep, err = cfg.Transport(p)
-		} else {
-			ep, err = s.net.Attach(p)
+		proc := &Processor{
+			id:     p,
+			sys:    s,
+			eps:    make([]transport.Endpoint, rings),
+			stacks: make([]*smp.Stack, rings),
+			mgrs:   make([]*replication.Manager, rings),
 		}
-		if err != nil {
-			return nil, fmt.Errorf("core: attach %s: %w", p, err)
-		}
-		suite, err := sec.NewSuite(cfg.Level, p, keys[p], keyRing)
-		if err != nil {
-			return nil, fmt.Errorf("core: suite for %s: %w", p, err)
-		}
-		suite.WorkFactor = cfg.CryptoWorkFactor
-
-		proc := &Processor{id: p, sys: s, ep: ep}
-		stack, err := smp.New(smp.Config{
-			Self:            p,
-			Members:         members,
-			Suite:           suite,
-			Endpoint:        ep,
-			MaxPerVisit:     cfg.MaxPerVisit,
-			MaxSubmitQueue:  cfg.MaxSubmitQueue,
-			MaxUnstable:     cfg.MaxUnstable,
-			IdleDelay:       cfg.IdleDelay,
-			PollInterval:    cfg.PollInterval,
-			SuspectTimeout:  cfg.SuspectTimeout,
-			StrikeThreshold: cfg.StrikeThreshold,
-			Metrics:         smp.MetricsFrom(reg),
-			Deliver: func(d smp.Delivery) {
-				proc.mgr.HandleDelivery(d.Payload)
-			},
-			OnMembershipChange: func(inst membership.Install) {
-				proc.mgr.OnMembershipInstall(uint64(inst.ID), inst.Members, inst.Behind)
-				s.rec.Kick()
-				if cfg.OnMembershipChange != nil {
-					cfg.OnMembershipChange(p, inst)
+		for r := 0; r < rings; r++ {
+			var ep transport.Endpoint
+			var err error
+			if cfg.Transport != nil {
+				ep, err = cfg.Transport(p, r)
+				if err == nil {
+					createdEps = append(createdEps, ep)
 				}
-			},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: stack for %s: %w", p, err)
-		}
-		proc.stack = stack
+			} else {
+				ep, err = s.nets[r].Attach(p)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: attach %s ring %d: %w", p, r, err)
+			}
+			suite, err := sec.NewSuite(cfg.Level, p, keys[p], keyRing)
+			if err != nil {
+				return nil, fmt.Errorf("core: suite for %s: %w", p, err)
+			}
+			suite.WorkFactor = cfg.CryptoWorkFactor
 
-		mgr, err := replication.NewManager(replication.Config{
-			Stack:       stack,
-			Processors:  cfg.Processors,
-			CallTimeout: cfg.CallTimeout,
-			Retries:     cfg.InvokeRetries,
-			Jitter:      sec.NewSeededRand(cfg.Seed ^ (uint64(p)*0xbf58476d1ce4e5b9 + 3)),
-			MaxInFlight: cfg.MaxInFlight,
-			MaxBacklog:  cfg.MaxBacklog,
-			BacklogTTL:  cfg.BacklogTTL,
-			OnChange:    s.notifyActivity,
-			Metrics:     replication.MetricsFrom(reg),
-			Tracer:      tracer,
-			InvVoting:   voting.MetricsFrom(reg, "voting.inv"),
-			RespVoting:  voting.MetricsFrom(reg, "voting.resp"),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: manager for %s: %w", p, err)
+			r := r // captured by Deliver/OnMembershipChange below
+			stack, err := smp.New(smp.Config{
+				Self:            p,
+				Members:         members,
+				Suite:           suite,
+				Endpoint:        ep,
+				MaxPerVisit:     cfg.MaxPerVisit,
+				MaxSubmitQueue:  cfg.MaxSubmitQueue,
+				MaxUnstable:     cfg.MaxUnstable,
+				IdleDelay:       cfg.IdleDelay,
+				PollInterval:    cfg.PollInterval,
+				SuspectTimeout:  cfg.SuspectTimeout,
+				StrikeThreshold: cfg.StrikeThreshold,
+				Metrics:         smp.MetricsFromPrefix(reg, metricPrefix(r, rings)),
+				Deliver: func(d smp.Delivery) {
+					proc.mgrs[r].HandleDelivery(d.Payload)
+				},
+				OnMembershipChange: func(inst membership.Install) {
+					proc.mgrs[r].OnMembershipInstall(uint64(inst.ID), inst.Members, inst.Behind)
+					s.rec.Kick()
+					if cfg.OnMembershipChange != nil {
+						cfg.OnMembershipChange(p, inst)
+					}
+				},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: stack for %s ring %d: %w", p, r, err)
+			}
+			proc.eps[r] = ep
+			proc.stacks[r] = stack
+
+			mgrCfg := replication.Config{
+				Stack:       stack,
+				Processors:  cfg.Processors,
+				CallTimeout: cfg.CallTimeout,
+				Retries:     cfg.InvokeRetries,
+				Jitter:      sec.NewSeededRand(cfg.Seed ^ (uint64(p)*0xbf58476d1ce4e5b9 + 3) ^ ringSeedSalt(r)),
+				MaxInFlight: cfg.MaxInFlight,
+				MaxBacklog:  cfg.MaxBacklog,
+				BacklogTTL:  cfg.BacklogTTL,
+				OnChange:    s.notifyActivity,
+				Metrics:     replication.MetricsFrom(reg),
+				Tracer:      tracer,
+				InvVoting:   voting.MetricsFrom(reg, "voting.inv"),
+				RespVoting:  voting.MetricsFrom(reg, "voting.resp"),
+			}
+			if rings > 1 {
+				mgrCfg.Route = func(dest ids.ObjectGroupID, payload []byte) error {
+					target := RingOf(dest, rings)
+					if target != r {
+						s.crossRouted.Inc()
+					}
+					return proc.stacks[target].Submit(payload)
+				}
+				mgrCfg.Mirror = func(msg *group.Message) {
+					s.mirrorMembership(proc, r, msg)
+				}
+			}
+			mgr, err := replication.NewManager(mgrCfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: manager for %s ring %d: %w", p, r, err)
+			}
+			proc.mgrs[r] = mgr
 		}
-		proc.mgr = mgr
 		s.procs[p] = proc
 	}
 
@@ -335,23 +478,65 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: recovery: %w", err)
 	}
 	s.rec = rec
+	ok = true
 	return s, nil
 }
 
+// RingCount returns the number of rings this system shards groups over.
+func (s *System) RingCount() int { return s.rings }
+
+// RingOf returns the home ring of an object group in this system.
+func (s *System) RingOf(g ids.ObjectGroupID) int { return RingOf(g, s.rings) }
+
+// mirrorMembership reflects a join/leave submitted on homeRing onto every
+// other ring's directory, from the same processor. The mirror of a join
+// is client-only (payload flag 0) — foreign rings need the entry for
+// voting thresholds and sender admission, never for state transfer. Ring
+// origination is FIFO per processor, so a mirror submitted here is
+// ordered before any invocation or response this processor later routes
+// to the same ring on the entry's behalf. Overload is retried briefly
+// and then dropped with a counter: a lost mirror can stall cross-ring
+// calls against that entry, which the client-side retry path then heals.
+func (s *System) mirrorMembership(proc *Processor, homeRing int, msg *group.Message) {
+	cp := *msg
+	if cp.Kind == group.KindJoin {
+		cp.Payload = []byte{0}
+	}
+	raw := cp.Marshal()
+	for r, stack := range proc.stacks {
+		if r == homeRing {
+			continue
+		}
+		var err error
+		for attempt, wait := 0, time.Millisecond; attempt < 4; attempt, wait = attempt+1, wait*2 {
+			if err = stack.Submit(raw); err == nil || !errors.Is(err, ring.ErrOverloaded) {
+				break
+			}
+			time.Sleep(wait)
+		}
+		if err != nil {
+			s.mirrorDropped.Inc()
+			continue
+		}
+		s.mirrorsSent.Inc()
+	}
+}
+
 // reference returns the processor holding the authoritative object-group
-// directory: a synced member with the newest installed view (largest
-// install, then largest membership — a detached processor's singleton
-// view loses — then lowest identifier). Total order makes every synced
-// directory at the same install identical, so any such member serves.
-func (s *System) reference() *Processor {
+// directory for one ring: a synced member with the newest installed view
+// (largest install, then largest membership — a detached processor's
+// singleton view loses — then lowest identifier). Total order makes every
+// synced directory at the same install identical, so any such member
+// serves.
+func (s *System) reference(ring int) *Processor {
 	var best *Processor
 	var bestInst membership.Install
 	for _, id := range s.order {
 		p := s.procs[id]
-		if !p.mgr.Synced() {
+		if !p.mgrs[ring].Synced() {
 			continue
 		}
-		inst := p.stack.View()
+		inst := p.stacks[ring].View()
 		if best == nil || inst.ID > bestInst.ID ||
 			(inst.ID == bestInst.ID && len(inst.Members) > len(bestInst.Members)) {
 			best, bestInst = p, inst
@@ -360,55 +545,93 @@ func (s *System) reference() *Processor {
 	return best
 }
 
-// clusterAdapter exposes the System to the recovery manager.
+// clusterAdapter exposes the System to the recovery manager. Group-scoped
+// queries consult the group's home ring; mirrored (client-only) directory
+// entries on foreign rings are excluded so a replica is never counted
+// twice.
 type clusterAdapter struct{ s *System }
 
 var _ recovery.Cluster = clusterAdapter{}
 
+// View is the set of processors present in every ring's installed
+// membership: a processor excluded from any ring is not a safe placement
+// target for groups homed there, and the detectors converge on real
+// crashes ring by ring.
 func (c clusterAdapter) View() []ids.ProcessorID {
-	if ref := c.s.reference(); ref != nil {
-		return ref.stack.View().Members
+	counts := make(map[ids.ProcessorID]int)
+	for r := 0; r < c.s.rings; r++ {
+		ref := c.s.reference(r)
+		if ref == nil {
+			return nil
+		}
+		for _, p := range ref.stacks[r].View().Members {
+			counts[p]++
+		}
 	}
-	return nil
+	var view []ids.ProcessorID
+	for p, n := range counts {
+		if n == c.s.rings {
+			view = append(view, p)
+		}
+	}
+	sort.Slice(view, func(i, j int) bool { return view[i] < view[j] })
+	return view
 }
 
 func (c clusterAdapter) Groups() []ids.ObjectGroupID {
-	if ref := c.s.reference(); ref != nil {
-		return ref.mgr.Directory().Groups()
+	var groups []ids.ObjectGroupID
+	for r := 0; r < c.s.rings; r++ {
+		ref := c.s.reference(r)
+		if ref == nil {
+			continue
+		}
+		for _, g := range ref.mgrs[r].Directory().Groups() {
+			if RingOf(g, c.s.rings) == r {
+				groups = append(groups, g)
+			}
+		}
 	}
-	return nil
+	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+	return groups
 }
 
 func (c clusterAdapter) GroupHosts(g ids.ObjectGroupID) []ids.ProcessorID {
-	ref := c.s.reference()
+	r := c.s.RingOf(g)
+	ref := c.s.reference(r)
 	if ref == nil {
 		return nil
 	}
-	members := ref.mgr.Directory().Members(g)
+	members := ref.mgrs[r].Directory().Members(g)
 	hosts := make([]ids.ProcessorID, 0, len(members))
-	for _, r := range members {
-		hosts = append(hosts, r.Processor)
+	for _, m := range members {
+		hosts = append(hosts, m.Processor)
 	}
 	return hosts
 }
 
 func (c clusterAdapter) GroupDegreeHW(g ids.ObjectGroupID) int {
-	if ref := c.s.reference(); ref != nil {
-		return ref.mgr.GroupDegreeHW(g)
+	r := c.s.RingOf(g)
+	if ref := c.s.reference(r); ref != nil {
+		return ref.mgrs[r].GroupDegreeHW(g)
 	}
 	return 0
 }
 
 func (c clusterAdapter) Load(p ids.ProcessorID) int {
-	ref := c.s.reference()
-	if ref == nil {
-		return 0
-	}
-	dir := ref.mgr.Directory()
 	load := 0
-	for _, g := range dir.Groups() {
-		if dir.Contains(ids.ReplicaID{Group: g, Processor: p}) {
-			load++
+	for r := 0; r < c.s.rings; r++ {
+		ref := c.s.reference(r)
+		if ref == nil {
+			continue
+		}
+		dir := ref.mgrs[r].Directory()
+		for _, g := range dir.Groups() {
+			if RingOf(g, c.s.rings) != r {
+				continue
+			}
+			if dir.Contains(ids.ReplicaID{Group: g, Processor: p}) {
+				load++
+			}
 		}
 	}
 	return load
@@ -416,7 +639,15 @@ func (c clusterAdapter) Load(p ids.ProcessorID) int {
 
 func (c clusterAdapter) Ready(p ids.ProcessorID) bool {
 	proc, ok := c.s.procs[p]
-	return ok && proc.mgr.Synced()
+	if !ok {
+		return false
+	}
+	for _, mgr := range proc.mgrs {
+		if !mgr.Synced() {
+			return false
+		}
+	}
+	return true
 }
 
 func (c clusterAdapter) Place(p ids.ProcessorID, g ids.ObjectGroupID) (recovery.Placement, error) {
@@ -430,18 +661,19 @@ func (c clusterAdapter) Place(p ids.ProcessorID, g ids.ObjectGroupID) (recovery.
 	if spec == nil {
 		return nil, fmt.Errorf("core: no spec for group %s", g)
 	}
-	return proc.mgr.HostReplica(g, spec.key, spec.factory())
+	return proc.mgrFor(g).HostReplica(g, spec.key, spec.factory())
 }
 
 func (c clusterAdapter) Evict(g ids.ObjectGroupID, p ids.ProcessorID) error {
-	ref := c.s.reference()
+	r := c.s.RingOf(g)
+	ref := c.s.reference(r)
 	if ref == nil {
 		return fmt.Errorf("core: no synced processor to evict through")
 	}
-	return ref.mgr.EvictReplica(ids.ReplicaID{Group: g, Processor: p})
+	return ref.mgrs[r].EvictReplica(ids.ReplicaID{Group: g, Processor: p})
 }
 
-// Start launches every processor's protocol stack.
+// Start launches every processor's protocol stacks.
 func (s *System) Start() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -450,32 +682,38 @@ func (s *System) Start() {
 	}
 	s.started = true
 	for _, p := range s.order {
-		s.procs[p].stack.Start()
+		for _, stack := range s.procs[p].stacks {
+			stack.Start()
+		}
 	}
 	if s.cfg.AutoRecover {
 		s.rec.Start()
 	}
 }
 
-// Stop shuts the system down.
+// Stop shuts the system down. It is idempotent and safe to call
+// concurrently: teardown runs exactly once, so transport-supplied
+// endpoints are closed exactly once no matter how many callers race.
 func (s *System) Stop() {
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
-		return
-	}
-	s.stopped = true
-	s.mu.Unlock()
+	s.stopOnce.Do(s.teardown)
+}
+
+func (s *System) teardown() {
 	s.rec.Stop() // no placements during teardown
 	for _, p := range s.order {
-		s.procs[p].stack.Stop()
+		for _, stack := range s.procs[p].stacks {
+			stack.Stop()
+		}
 	}
-	if s.net != nil {
-		s.net.Close()
-		return
+	for _, n := range s.nets {
+		n.Close()
 	}
-	for _, p := range s.order {
-		s.procs[p].ep.Close()
+	if s.cfg.Transport != nil {
+		for _, p := range s.order {
+			for _, ep := range s.procs[p].eps {
+				ep.Close()
+			}
+		}
 	}
 }
 
@@ -497,31 +735,39 @@ func (s *System) Processors() []ids.ProcessorID {
 // the full ring membership (which may span OS processes).
 func (s *System) MaxFaulty() int { return MaxFaulty(len(s.members)) }
 
-// CrashProcessor simulates a processor crash: the processor drops off the
-// LAN (Table 1: processor crash). The survivors' fault detectors time it
-// out and the membership protocol excludes it. A no-op on a real-socket
-// transport — kill the OS process instead.
+// CrashProcessor simulates a processor crash: the processor drops off
+// every ring's LAN (Table 1: processor crash). The survivors' fault
+// detectors time it out and each ring's membership protocol excludes it.
+// A no-op on a real-socket transport — kill the OS process instead.
 func (s *System) CrashProcessor(id ids.ProcessorID) {
-	if s.net != nil {
-		s.net.Detach(id)
+	for _, n := range s.nets {
+		n.Detach(id)
 	}
 }
 
 // ReattachProcessor reverses CrashProcessor at the network level (the
-// membership protocol decides whether the processor may rejoin).
+// membership protocols decide whether the processor may rejoin).
 func (s *System) ReattachProcessor(id ids.ProcessorID) {
-	if s.net != nil {
-		s.net.Reattach(id)
+	for _, n := range s.nets {
+		n.Reattach(id)
 	}
 }
 
-// NetStats returns the simulated network's counters (zeros on a
-// real-socket transport — see the transport.* metric family instead).
+// NetStats returns the simulated networks' counters summed across rings
+// (zeros on a real-socket transport — see the transport.* metric family
+// instead).
 func (s *System) NetStats() netsim.Stats {
-	if s.net == nil {
-		return netsim.Stats{}
+	var total netsim.Stats
+	for _, n := range s.nets {
+		st := n.Stats()
+		total.Sent += st.Sent
+		total.Delivered += st.Delivered
+		total.Dropped += st.Dropped
+		total.Corrupted += st.Corrupted
+		total.Duplicated += st.Duplicated
+		total.BytesSent += st.BytesSent
 	}
-	return s.net.Stats()
+	return total
 }
 
 // Metrics returns the system-wide metric registry, or nil when the
@@ -537,7 +783,9 @@ func (s *System) Snapshot() obs.Snapshot { return s.reg.Snapshot() }
 // no explicit hosts the first degree processors are used. The spec is
 // recorded so that, under AutoRecover, replicas lost to processor
 // exclusions are re-hosted automatically (state reaches the replacement
-// via majority-voted state transfer, not the factory).
+// via majority-voted state transfer, not the factory). Replicas are
+// hosted on the group's home ring; in a sharded system their joins are
+// mirrored to the other rings as client-only entries.
 func (s *System) HostGroup(g ids.ObjectGroupID, objectKey string, degree int,
 	factory func() orb.Servant, on ...ids.ProcessorID) ([]*replication.Handle, error) {
 	if factory == nil {
@@ -575,7 +823,7 @@ func (s *System) HostGroup(g ids.ObjectGroupID, objectKey string, degree int,
 		delete(s.specs, g)
 		s.mu.Unlock()
 		for _, p := range placed {
-			_ = s.procs[p].mgr.EvictReplica(ids.ReplicaID{Group: g, Processor: p})
+			_ = s.procs[p].mgrFor(g).EvictReplica(ids.ReplicaID{Group: g, Processor: p})
 		}
 	}
 	if err := s.rec.Register(g, degree); err != nil {
@@ -585,7 +833,7 @@ func (s *System) HostGroup(g ids.ObjectGroupID, objectKey string, degree int,
 	handles := make([]*replication.Handle, 0, degree)
 	placed := make([]ids.ProcessorID, 0, degree)
 	for _, p := range hosts {
-		h, err := s.procs[p].mgr.HostReplica(g, objectKey, factory())
+		h, err := s.procs[p].mgrFor(g).HostReplica(g, objectKey, factory())
 		if err != nil {
 			rollback(placed)
 			return nil, err
@@ -611,11 +859,12 @@ func (s *System) notifyActivity() {
 }
 
 // WaitGroupActive blocks until the group has at least want active
-// replicas (in the authoritative directory) or the timeout expires. It
-// parks on the managers' activity signal rather than polling; a
-// fallback re-check (100ms) guards against a signal consumed by a
+// replicas (in its home ring's authoritative directory) or the timeout
+// expires. It parks on the managers' activity signal rather than polling;
+// a fallback re-check (100ms) guards against a signal consumed by a
 // concurrent waiter.
 func (s *System) WaitGroupActive(g ids.ObjectGroupID, want int, timeout time.Duration) error {
+	homeRing := s.RingOf(g)
 	deadline := time.Now().Add(timeout)
 	timer := time.NewTimer(0)
 	defer timer.Stop()
@@ -623,7 +872,7 @@ func (s *System) WaitGroupActive(g ids.ObjectGroupID, want int, timeout time.Dur
 		<-timer.C
 	}
 	for {
-		if ref := s.reference(); ref != nil && ref.mgr.ActiveCount(g) >= want {
+		if ref := s.reference(homeRing); ref != nil && ref.mgrs[homeRing].ActiveCount(g) >= want {
 			return nil
 		}
 		wait := time.Until(deadline)
@@ -647,39 +896,79 @@ func (s *System) WaitGroupActive(g ids.ObjectGroupID, want int, timeout time.Dur
 // ID returns the processor's identifier.
 func (p *Processor) ID() ids.ProcessorID { return p.id }
 
-// View returns the processor's installed membership.
-func (p *Processor) View() membership.Install { return p.stack.View() }
+// View returns the processor's installed membership on ring 0. In a
+// sharded system each ring runs its own membership protocol; ring 0 is
+// the conventional reporting ring (ViewAt for the others).
+func (p *Processor) View() membership.Install { return p.stacks[0].View() }
 
-// Suspects returns the processor's local fault-detector output.
-func (p *Processor) Suspects() []ids.ProcessorID { return p.stack.Suspects() }
+// ViewAt returns the processor's installed membership on one ring.
+func (p *Processor) ViewAt(ring int) membership.Install { return p.stacks[ring].View() }
 
-// RingStats returns the processor's current ring counters.
-func (p *Processor) RingStats() ring.Stats { return p.stack.RingStats() }
+// Suspects returns the processor's local fault-detector output (ring 0).
+func (p *Processor) Suspects() []ids.ProcessorID { return p.stacks[0].Suspects() }
 
-// QueuedSubmissions returns the depth of the processor's ring submit
-// queue (pending originations). Bounded by Config.MaxSubmitQueue.
-func (p *Processor) QueuedSubmissions() int { return p.stack.QueuedSubmissions() }
+// RingStats returns the processor's current ring counters (ring 0; see
+// RingStatsAt for the others).
+func (p *Processor) RingStats() ring.Stats { return p.stacks[0].RingStats() }
 
-// ManagerStats returns the processor's Replication Manager counters.
-func (p *Processor) ManagerStats() replication.Stats { return p.mgr.Stats() }
+// RingStatsAt returns the processor's counters on one ring.
+func (p *Processor) RingStatsAt(r int) ring.Stats { return p.stacks[r].RingStats() }
 
-// Manager exposes the Replication Manager (advanced use and tests).
-func (p *Processor) Manager() *replication.Manager { return p.mgr }
+// QueuedSubmissions returns the total depth of the processor's ring
+// submit queues across rings (pending originations). Each ring's queue is
+// bounded by Config.MaxSubmitQueue.
+func (p *Processor) QueuedSubmissions() int {
+	total := 0
+	for _, stack := range p.stacks {
+		total += stack.QueuedSubmissions()
+	}
+	return total
+}
+
+// ManagerStats returns the processor's Replication Manager counters,
+// summed across rings.
+func (p *Processor) ManagerStats() replication.Stats {
+	var total replication.Stats
+	for _, mgr := range p.mgrs {
+		st := mgr.Stats()
+		total.InvocationsSent += st.InvocationsSent
+		total.ResponsesSent += st.ResponsesSent
+		total.ResponsesResent += st.ResponsesResent
+		total.InvocationsDecided += st.InvocationsDecided
+		total.ResponsesDecided += st.ResponsesDecided
+		total.DuplicatesDiscarded += st.DuplicatesDiscarded
+		total.ValueFaults += st.ValueFaults
+		total.StateTransfers += st.StateTransfers
+		total.OverloadRejects += st.OverloadRejects
+		total.BacklogShed += st.BacklogShed
+		total.Desyncs += st.Desyncs
+	}
+	return total
+}
+
+// Manager exposes the ring-0 Replication Manager (advanced use and
+// tests); ManagerAt selects a specific ring.
+func (p *Processor) Manager() *replication.Manager { return p.mgrs[0] }
+
+// ManagerAt exposes the Replication Manager for one ring.
+func (p *Processor) ManagerAt(ring int) *replication.Manager { return p.mgrs[ring] }
 
 // HostServer starts a local server replica of an object group on this
-// processor. servant must be deterministic (paper §3). The returned handle
-// reports activation; the replica participates in voting thereafter.
+// processor, on the group's home ring. servant must be deterministic
+// (paper §3). The returned handle reports activation; the replica
+// participates in voting thereafter.
 func (p *Processor) HostServer(g ids.ObjectGroupID, objectKey string, servant orb.Servant) (*replication.Handle, error) {
-	return p.mgr.HostReplica(g, objectKey, servant)
+	return p.mgrFor(g).HostReplica(g, objectKey, servant)
 }
 
 // ClientORB hosts a local client replica of clientGroup on this processor
-// and returns an ORB whose transport is the Immune interceptor: stubs
-// created from this ORB transparently issue replicated, majority-voted
-// invocations. Bind object keys to server groups on the returned
-// interceptor.
+// (on the client group's home ring) and returns an ORB whose transport is
+// the Immune interceptor: stubs created from this ORB transparently issue
+// replicated, majority-voted invocations — including to server groups
+// homed on other rings, via the cross-ring routing layer. Bind object
+// keys to server groups on the returned interceptor.
 func (p *Processor) ClientORB(clientGroup ids.ObjectGroupID) (*orb.ORB, *interceptor.Interceptor, *replication.Handle, error) {
-	h, err := p.mgr.HostReplica(clientGroup, "", nil)
+	h, err := p.mgrFor(clientGroup).HostReplica(clientGroup, "", nil)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -690,9 +979,9 @@ func (p *Processor) ClientORB(clientGroup ids.ObjectGroupID) (*orb.ORB, *interce
 }
 
 // GroupMembers reports the object-group membership as seen by this
-// processor's Replication Manager.
+// processor's Replication Manager on the group's home ring.
 func (p *Processor) GroupMembers(g ids.ObjectGroupID) []ids.ReplicaID {
-	ms := p.mgr.Directory().Members(g)
+	ms := p.mgrFor(g).Directory().Members(g)
 	sort.Slice(ms, func(i, j int) bool { return ms[i].Processor < ms[j].Processor })
 	return ms
 }

@@ -17,15 +17,23 @@ type Metrics struct {
 // MetricsFrom registers the network metric family in reg. A nil registry
 // yields the disabled zero value.
 func MetricsFrom(reg *obs.Registry) Metrics {
+	return MetricsFromPrefix(reg, "")
+}
+
+// MetricsFromPrefix registers the network metric family under
+// "<prefix>net.*". Each ring of a sharded system runs its own simulated
+// LAN; the prefix keeps their counters apart while the empty prefix
+// preserves the legacy single-network names.
+func MetricsFromPrefix(reg *obs.Registry, prefix string) Metrics {
 	if reg == nil {
 		return Metrics{}
 	}
 	return Metrics{
-		Sent:       reg.Counter("net.sent"),
-		Delivered:  reg.Counter("net.delivered"),
-		Dropped:    reg.Counter("net.dropped"),
-		Corrupted:  reg.Counter("net.corrupted"),
-		Duplicated: reg.Counter("net.duplicated"),
-		BytesSent:  reg.Counter("net.bytes_sent"),
+		Sent:       reg.Counter(prefix + "net.sent"),
+		Delivered:  reg.Counter(prefix + "net.delivered"),
+		Dropped:    reg.Counter(prefix + "net.dropped"),
+		Corrupted:  reg.Counter(prefix + "net.corrupted"),
+		Duplicated: reg.Counter(prefix + "net.duplicated"),
+		BytesSent:  reg.Counter(prefix + "net.bytes_sent"),
 	}
 }

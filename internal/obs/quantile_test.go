@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileEdgeCases pins the estimator's contract at its boundaries:
+// q is clamped to [0,1], an empty histogram reports zero, and a quantile
+// landing in the overflow bucket reports that bucket's lower bound — a
+// floor — rather than extrapolating past the largest representable value.
+func TestQuantileEdgeCases(t *testing.T) {
+	// bucket i counts [2^(i-1), 2^i) µs; the overflow bucket starts here.
+	overflowLower := BucketBound(numBuckets - 2)
+
+	mk := func(count uint64, buckets map[int]uint64) HistogramValue {
+		v := HistogramValue{Count: count}
+		for i, n := range buckets {
+			v.Buckets[i] = n
+		}
+		return v
+	}
+
+	cases := []struct {
+		name string
+		v    HistogramValue
+		q    float64
+		want time.Duration
+	}{
+		{"empty/q0", HistogramValue{}, 0, 0},
+		{"empty/q0.5", HistogramValue{}, 0.5, 0},
+		{"empty/q1", HistogramValue{}, 1, 0},
+
+		// 10 observations of ~3µs, all in bucket 2 = [2µs, 4µs).
+		{"one-bucket/q0", mk(10, map[int]uint64{2: 10}), 0, 2 * time.Microsecond},
+		{"one-bucket/q0.5", mk(10, map[int]uint64{2: 10}), 0.5, 3 * time.Microsecond},
+		{"one-bucket/q1", mk(10, map[int]uint64{2: 10}), 1, 4 * time.Microsecond},
+
+		// q outside [0,1] clamps instead of running off the bucket array.
+		{"clamp-low", mk(10, map[int]uint64{2: 10}), -3, 2 * time.Microsecond},
+		{"clamp-high", mk(10, map[int]uint64{2: 10}), 7, 4 * time.Microsecond},
+
+		// All mass beyond the representable range: every quantile is the
+		// overflow bucket's lower bound, never an extrapolation.
+		{"overflow-all/q0", mk(5, map[int]uint64{numBuckets - 1: 5}), 0, overflowLower},
+		{"overflow-all/q0.5", mk(5, map[int]uint64{numBuckets - 1: 5}), 0.5, overflowLower},
+		{"overflow-all/q1", mk(5, map[int]uint64{numBuckets - 1: 5}), 1, overflowLower},
+
+		// Mixed mass: low quantiles interpolate in the finite bucket, high
+		// quantiles floor at the overflow lower bound.
+		{"mixed/q0.25", mk(8, map[int]uint64{2: 4, numBuckets - 1: 4}), 0.25, 3 * time.Microsecond},
+		{"mixed/q0.99", mk(8, map[int]uint64{2: 4, numBuckets - 1: 4}), 0.99, overflowLower},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.v.Quantile(tc.q); got != tc.want {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestQuantileOverflowViaObserve drives the same floor contract through
+// Observe: a duration past the histogram range lands in the overflow
+// bucket and quantiles report its lower bound, not the observed value.
+func TestQuantileOverflowViaObserve(t *testing.T) {
+	var h Histogram
+	huge := 40 * time.Second // beyond the ~34s histogram range
+	for i := 0; i < 3; i++ {
+		h.Observe(huge)
+	}
+	v := h.snapshot()
+	want := BucketBound(numBuckets - 2)
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := v.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) = %v, want overflow lower bound %v", q, got, want)
+		}
+	}
+	if got := v.Quantile(1); got > huge {
+		t.Fatalf("overflow quantile %v extrapolated past the observed max %v", got, huge)
+	}
+}

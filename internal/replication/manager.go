@@ -27,7 +27,6 @@ import (
 	"immune/internal/voting"
 )
 
-
 // Multicaster is the Replication Manager's handle on the Secure Multicast
 // Protocols (the object group interface of Figure 2). smp.Stack satisfies
 // it.
@@ -106,6 +105,18 @@ type Config struct {
 	// voters (they survive voter resets on exclusion/resync).
 	InvVoting  voting.Metrics
 	RespVoting voting.Metrics
+	// Route, when non-nil, carries application traffic (invocations and
+	// responses) toward the total order that owns the destination object
+	// group — in a sharded deployment that may be a different ring than
+	// this manager's own Stack. Membership, state-transfer, voting, and
+	// resync traffic always goes through Stack: those protocols are
+	// ring-local by construction. nil means Stack.Submit.
+	Route func(dest ids.ObjectGroupID, payload []byte) error
+	// Mirror, when non-nil, fires after a successful membership
+	// submission (join, leave, evict) so a routing layer can reflect the
+	// change onto other rings' directories. The message must be treated
+	// as read-only; mirror copies are the callee's to build.
+	Mirror func(msg *group.Message)
 }
 
 // Manager is one processor's Replication Manager.
@@ -124,6 +135,8 @@ type Manager struct {
 	tracer       *obs.Tracer
 	invVM        voting.Metrics
 	respVM       voting.Metrics
+	route        func(dest ids.ObjectGroupID, payload []byte) error
+	mirror       func(msg *group.Message)
 
 	mu        sync.Mutex
 	dir       *group.Directory
@@ -282,6 +295,8 @@ func NewManager(cfg Config) (*Manager, error) {
 		tracer:       cfg.Tracer,
 		invVM:        cfg.InvVoting,
 		respVM:       cfg.RespVoting,
+		route:        cfg.Route,
+		mirror:       cfg.Mirror,
 		dir:          group.NewDirectory(),
 		hosted:       make(map[ids.ObjectGroupID]*replicaState),
 		waiters:      make(map[ids.OperationID]*waiter),
@@ -300,6 +315,24 @@ func NewManager(cfg Config) (*Manager, error) {
 		m.stack.ValueFaultSuspect(r.Processor)
 	})
 	return m, nil
+}
+
+// submitRouted sends application traffic toward the total order that owns
+// dest. Without a Route hook every group lives on this manager's own
+// stack.
+func (m *Manager) submitRouted(dest ids.ObjectGroupID, payload []byte) error {
+	if m.route != nil {
+		return m.route(dest, payload)
+	}
+	return m.stack.Submit(payload)
+}
+
+// mirrorSubmitted reflects a successfully submitted membership message to
+// the routing layer, if one is installed.
+func (m *Manager) mirrorSubmitted(msg *group.Message) {
+	if m.mirror != nil {
+		m.mirror(msg)
+	}
 }
 
 // Directory exposes the object-group membership view (read-only use).
@@ -462,6 +495,7 @@ func (m *Manager) HostReplica(g ids.ObjectGroupID, key string, servant orb.Serva
 		m.mu.Unlock()
 		return nil, fmt.Errorf("replication: announce join: %w", err)
 	}
+	m.mirrorSubmitted(join)
 	return &Handle{m: m, st: st}, nil
 }
 
@@ -509,6 +543,7 @@ func (h *Handle) Leave() error {
 	if err := h.m.stack.Submit(leave.Marshal()); err != nil {
 		return fmt.Errorf("replication: announce leave: %w", err)
 	}
+	h.m.mirrorSubmitted(leave)
 	return nil
 }
 
@@ -599,7 +634,7 @@ func (h *Handle) InvokeDeadline(target ids.ObjectGroupID, iiopRequest []byte, de
 			msg.Kind = group.KindInvocationRetry
 			rawRetry = msg.Marshal()
 		}
-		if err := h.m.stack.Submit(rawRetry); err != nil {
+		if err := h.m.submitRouted(target, rawRetry); err != nil {
 			if errors.Is(err, ErrOverloaded) {
 				// The re-send was shed by the bounded submit queue, but the
 				// original copy is already in the total order — keep waiting
@@ -691,7 +726,7 @@ func (h *Handle) prepare(target ids.ObjectGroupID, iiopRequest []byte, twoway bo
 		Sender:  h.st.id,
 		Payload: iiopRequest,
 	}
-	if err := m.stack.Submit(msg.Marshal()); err != nil {
+	if err := m.submitRouted(target, msg.Marshal()); err != nil {
 		m.mu.Lock()
 		if twoway {
 			m.dropWaiterLocked(op)
@@ -931,7 +966,7 @@ func (m *Manager) dispatchInvocation(st *replicaState, op ids.OperationID, iiopR
 	// stability) the operation must still be answerable from the cache
 	// when the client retries.
 	retainReplyLocked(st, op, reply)
-	if err := m.stack.Submit(m.responseFor(st, op, reply)); err == nil {
+	if err := m.submitRouted(op.ClientGroup, m.responseFor(st, op, reply)); err == nil {
 		m.stats.ResponsesSent++
 		m.met.ResponsesSent.Inc()
 		m.tracer.Mark(op, obs.StageExecuted)
@@ -981,7 +1016,7 @@ func (m *Manager) resendReplyLocked(st *replicaState, op ids.OperationID) {
 	if !ok || !st.active {
 		return
 	}
-	if err := m.stack.Submit(m.responseFor(st, op, reply)); err == nil {
+	if err := m.submitRouted(op.ClientGroup, m.responseFor(st, op, reply)); err == nil {
 		m.stats.ResponsesResent++
 		m.met.ResponsesResent.Inc()
 	}
@@ -1645,6 +1680,7 @@ func (m *Manager) EvictReplica(r ids.ReplicaID) error {
 	if err := m.stack.Submit(leave.Marshal()); err != nil {
 		return fmt.Errorf("replication: evict %s: %w", r, err)
 	}
+	m.mirrorSubmitted(leave)
 	return nil
 }
 

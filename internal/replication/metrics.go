@@ -6,11 +6,11 @@ import "immune/internal/obs"
 // mirroring Stats into a shared registry. The zero value is fully disabled
 // (nil obs handles are no-ops).
 type Metrics struct {
-	InvocationsSent    *obs.Counter
-	ResponsesSent      *obs.Counter
+	InvocationsSent *obs.Counter
+	ResponsesSent   *obs.Counter
 	// ResponsesResent counts retained replies re-sent for invocation
 	// retries (at-most-once reply retention, not re-execution).
-	ResponsesResent *obs.Counter
+	ResponsesResent    *obs.Counter
 	InvocationsDecided *obs.Counter
 	ResponsesDecided   *obs.Counter
 	// Duplicates counts copies suppressed after decisions (§5.1).

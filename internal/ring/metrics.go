@@ -43,21 +43,29 @@ type Metrics struct {
 // yields the disabled zero value. The names are shared by every ring
 // incarnation on a processor, so counters survive membership changes.
 func MetricsFrom(reg *obs.Registry) Metrics {
+	return MetricsFromPrefix(reg, "")
+}
+
+// MetricsFromPrefix registers the ring metric family under
+// "<prefix>ring.*". A sharded deployment labels each ring's instance with
+// a distinct prefix (e.g. "r2.") so per-ring traffic stays attributable;
+// the empty prefix keeps the legacy single-ring names.
+func MetricsFromPrefix(reg *obs.Registry, prefix string) Metrics {
 	if reg == nil {
 		return Metrics{}
 	}
 	return Metrics{
-		TokensSigned:    reg.Counter("ring.tokens_signed"),
-		TokensVerified:  reg.Counter("ring.tokens_verified"),
-		VerifyCacheHits: reg.Counter("ring.verify_cache_hits"),
-		Rotation:        reg.Histogram("ring.rotation"),
-		Delivered:       reg.Counter("ring.delivered"),
-		Originated:      reg.Counter("ring.originated"),
-		Retransmissions: reg.Counter("ring.retransmissions"),
-		TokenResends:    reg.Counter("ring.token_resends"),
-		Rejects:         reg.Counter("ring.rejects"),
-		SendQueue:       reg.Gauge("ring.send_queue"),
-		SubmitShed:      reg.Counter("ring.submit_shed"),
-		Throttled:       reg.Counter("ring.throttled"),
+		TokensSigned:    reg.Counter(prefix + "ring.tokens_signed"),
+		TokensVerified:  reg.Counter(prefix + "ring.tokens_verified"),
+		VerifyCacheHits: reg.Counter(prefix + "ring.verify_cache_hits"),
+		Rotation:        reg.Histogram(prefix + "ring.rotation"),
+		Delivered:       reg.Counter(prefix + "ring.delivered"),
+		Originated:      reg.Counter(prefix + "ring.originated"),
+		Retransmissions: reg.Counter(prefix + "ring.retransmissions"),
+		TokenResends:    reg.Counter(prefix + "ring.token_resends"),
+		Rejects:         reg.Counter(prefix + "ring.rejects"),
+		SendQueue:       reg.Gauge(prefix + "ring.send_queue"),
+		SubmitShed:      reg.Counter(prefix + "ring.submit_shed"),
+		Throttled:       reg.Counter(prefix + "ring.throttled"),
 	}
 }

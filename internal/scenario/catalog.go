@@ -12,7 +12,9 @@ import (
 // (steady-state, cascade), send/receive omission via partition
 // (partition-heal), processor crash (crash-recover, cascade), value-faulty
 // replicas (byzantine-burst, cascade) — plus the overload regime the paper
-// never measured (overload-shed).
+// never measured (overload-shed) and the multi-ring failure modes the
+// sharded deployment adds (xring-overload, xring-membership,
+// xring-forwarder-crash).
 //
 // Durations and rates are sized for CI: each scenario deploys a full
 // system, drives a few seconds of open-loop load, and drains. Latency
@@ -190,6 +192,82 @@ func Catalog() []Scenario {
 				// can decide, so the tail ceiling leaves room for a full
 				// exclusion cycle on an overloaded runner.
 				MaxP999: 12 * time.Second,
+			},
+		},
+		{
+			Name: "xring-overload",
+			Description: "sharded deployment under heavy-tailed load far beyond capacity with " +
+				"tight admission bounds — cross-ring forwarding must propagate backpressure " +
+				"as retryable ErrOverloaded, not convert it into hard errors",
+			Seed:           107,
+			Rings:          2,
+			Groups:         4,
+			Level:          immune.LevelDigests,
+			MaxInFlight:    4,
+			MaxSubmitQueue: 96,
+			MaxBacklog:     128,
+			Duration:       1500 * time.Millisecond,
+			Load: immune.PacketSourceConfig{
+				Rate: 4000, Process: immune.ParetoArrivals, PayloadSize: 16,
+			},
+			SLO: SLO{
+				RequireShed:      true,
+				MaxShedFrac:      1.0,
+				MinDeliveredFrac: 0.01,
+				MaxErrorFrac:     0.01,
+			},
+		},
+		{
+			Name: "xring-membership",
+			Description: "a server-hosting processor crashes mid-load in a sharded deployment: " +
+				"both rings' membership protocols must exclude it independently, and the " +
+				"recovery manager re-hosts each lost replica within its group's home ring",
+			Seed:           108,
+			Rings:          2,
+			Groups:         2,
+			AutoRecover:    true,
+			SuspectTimeout: time.Second,
+			Duration:       2500 * time.Millisecond,
+			Load: immune.PacketSourceConfig{
+				Rate: 200, Process: immune.PoissonArrivals, PayloadSize: 16,
+			},
+			Schedule: Schedule{Steps: []Step{
+				{Kind: StepCrash, At: 800 * time.Millisecond, Processors: []immune.ProcessorID{3}},
+			}},
+			SLO: SLO{
+				RequireRecovered: true,
+				MinDeliveredFrac: 0.90,
+				MaxErrorFrac:     0.05,
+				MaxP999:          8 * time.Second,
+			},
+		},
+		{
+			Name: "xring-forwarder-crash",
+			Description: "a client-hosting processor — the forwarder for its driver's " +
+				"cross-ring invocations — crashes mid-load: its own in-flight calls fail " +
+				"fast once its exclusion settles, while the surviving drivers' traffic " +
+				"resumes on both rings after each membership heals",
+			Seed:           109,
+			Rings:          2,
+			Groups:         2,
+			SuspectTimeout: time.Second,
+			// Bounded deadline so the dead forwarder's calls resolve (to
+			// hard errors) inside the drain window instead of abandoning.
+			CallTimeout: 4 * time.Second,
+			Duration:    2200 * time.Millisecond,
+			Load: immune.PacketSourceConfig{
+				Rate: 200, Process: immune.PoissonArrivals, PayloadSize: 16,
+			},
+			Schedule: Schedule{Steps: []Step{
+				{Kind: StepCrash, At: 900 * time.Millisecond, Processors: []immune.ProcessorID{4}},
+			}},
+			// Roughly a third of the post-crash arrivals belong to the dead
+			// driver and must fail; everything else rides out the membership
+			// stall and completes within its deadline.
+			SLO: SLO{
+				MinDeliveredFrac: 0.50,
+				MaxErrorFrac:     0.45,
+				MaxP999:          12 * time.Second,
 			},
 		},
 	}

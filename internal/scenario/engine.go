@@ -80,6 +80,12 @@ type Scenario struct {
 	Groups      int          `json:"groups,omitempty"`
 	Level       immune.Level `json:"level,omitempty"`
 	AutoRecover bool         `json:"auto_recover,omitempty"`
+	// Rings shards the deployment's object groups over this many token
+	// rings (immune.Config.Rings); 0 or 1 is a single ring. Cross-ring
+	// scenarios exercise the routing layer: driver clients are homed by
+	// their own group ids, which generally differ from the sink groups'
+	// home rings.
+	Rings int `json:"rings,omitempty"`
 
 	// Tuning passed through to immune.Config (zero = that config's
 	// defaults, except CallTimeout which defaults to 8s here so scenario
@@ -236,18 +242,19 @@ func Run(s Scenario) (*Result, error) {
 
 	plan := NewPlan(s.Schedule, s.Seed^0x9e3779b97f4a7c15)
 	sys, err := immune.New(immune.Config{
-		Processors:      s.Processors,
-		Level:           s.Level,
-		Seed:            s.Seed,
-		Plan:            plan,
-		AutoRecover:     s.AutoRecover,
-		CallTimeout:     s.CallTimeout,
+		Processors:  s.Processors,
+		Rings:       s.Rings,
+		Level:       s.Level,
+		Seed:        s.Seed,
+		Plan:        plan,
+		AutoRecover: s.AutoRecover,
+		CallTimeout: s.CallTimeout,
 		// Drivers re-send within the call deadline like the paper's
 		// clients would: re-sends carry the same operation ID and are
 		// deduplicated by the replication manager, so an invocation that
 		// lost its vote to a membership reconfiguration completes on the
 		// settled membership instead of dying at the deadline.
-		InvokeRetries: 2,
+		InvokeRetries:   2,
 		SuspectTimeout:  s.SuspectTimeout,
 		StrikeThreshold: s.StrikeThreshold,
 		MaxInFlight:     s.MaxInFlight,

@@ -29,16 +29,24 @@ type Metrics struct {
 // MetricsFrom registers the stack metric family in reg. A nil registry
 // yields the disabled zero value.
 func MetricsFrom(reg *obs.Registry) Metrics {
+	return MetricsFromPrefix(reg, "")
+}
+
+// MetricsFromPrefix registers the stack metric family under
+// "<prefix>smp.*" (and "<prefix>ring.*" for the token hot path). Sharded
+// deployments give each ring's stack its own prefix; the empty prefix
+// keeps the legacy names.
+func MetricsFromPrefix(reg *obs.Registry, prefix string) Metrics {
 	if reg == nil {
 		return Metrics{}
 	}
 	return Metrics{
-		Installs:   reg.Counter("smp.installs"),
-		Suspicions: reg.Counter("smp.suspicions"),
-		Members:    reg.Gauge("smp.members"),
-		Ring:       ring.MetricsFrom(reg),
+		Installs:   reg.Counter(prefix + "smp.installs"),
+		Suspicions: reg.Counter(prefix + "smp.suspicions"),
+		Members:    reg.Gauge(prefix + "smp.members"),
+		Ring:       ring.MetricsFromPrefix(reg, prefix),
 		SuspectReason: func(reason string) {
-			reg.Counter("smp.suspect." + reason).Inc()
+			reg.Counter(prefix + "smp.suspect." + reason).Inc()
 		},
 	}
 }

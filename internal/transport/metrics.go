@@ -13,6 +13,10 @@ type Metrics struct {
 	BytesReceived  *obs.Counter // payload bytes accepted into the recv queue
 	Reconnects     *obs.Counter // peer link (re-)establishments after the first
 	RecvQueueDepth *obs.Gauge   // current recv queue occupancy
+	// InboundSuperseded counts inbound links torn down because the same
+	// sender completed a newer hello — the stale reader would otherwise
+	// keep draining a dead connection forever.
+	InboundSuperseded *obs.Counter
 }
 
 // MetricsFrom registers the transport metric family in reg. A nil
@@ -22,13 +26,14 @@ func MetricsFrom(reg *obs.Registry) Metrics {
 		return Metrics{}
 	}
 	return Metrics{
-		FramesSent:     reg.Counter("transport.frames_sent"),
-		FramesReceived: reg.Counter("transport.frames_received"),
-		SendDropped:    reg.Counter("transport.send_dropped"),
-		RecvDropped:    reg.Counter("transport.recv_dropped"),
-		BytesSent:      reg.Counter("transport.bytes_sent"),
-		BytesReceived:  reg.Counter("transport.bytes_received"),
-		Reconnects:     reg.Counter("transport.reconnects"),
-		RecvQueueDepth: reg.Gauge("transport.recv_queue_depth"),
+		FramesSent:        reg.Counter("transport.frames_sent"),
+		FramesReceived:    reg.Counter("transport.frames_received"),
+		SendDropped:       reg.Counter("transport.send_dropped"),
+		RecvDropped:       reg.Counter("transport.recv_dropped"),
+		BytesSent:         reg.Counter("transport.bytes_sent"),
+		BytesReceived:     reg.Counter("transport.bytes_received"),
+		Reconnects:        reg.Counter("transport.reconnects"),
+		RecvQueueDepth:    reg.Gauge("transport.recv_queue_depth"),
+		InboundSuperseded: reg.Counter("transport.inbound_superseded"),
 	}
 }

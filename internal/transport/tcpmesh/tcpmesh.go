@@ -18,7 +18,7 @@
 //
 // Wire format, per connection:
 //
-//	hello:  magic "IMM1" | version byte (1) | sender id (uint32 BE)
+//	hello:  magic "IMM1" | version byte (2) | sender id (uint32 BE) | ring id (uint32 BE)
 //	frame:  length (uint32 BE, ≤ MaxFrame) | payload bytes
 //
 // The hello authenticates nothing — channels in the model are
@@ -45,7 +45,7 @@ const MaxFrame = 1 << 24
 
 var helloMagic = [4]byte{'I', 'M', 'M', '1'}
 
-const helloVersion = 1
+const helloVersion = 2
 
 // Defaults for the zero Config values.
 const (
@@ -83,6 +83,11 @@ type Config struct {
 	// Seed drives the jittered backoff schedule (reproducible from the
 	// system seed, like every other retry loop in the system).
 	Seed uint64
+	// Ring identifies which sharded ring this endpoint carries. The hello
+	// advertises it and inbound links claiming a different ring are cut:
+	// in a multi-ring deployment every (processor, ring) pair has its own
+	// mesh, and cross-wiring them would splice two total orders together.
+	Ring int
 	// Metrics are optional observability hooks; the zero value disables
 	// them.
 	Metrics transport.Metrics
@@ -96,10 +101,11 @@ type Endpoint struct {
 	peers map[ids.ProcessorID]*peer
 	order []ids.ProcessorID // stable fan-out order
 
-	mu     sync.Mutex
-	recvQ  []transport.Frame
-	conns  map[net.Conn]struct{} // inbound, closed on shutdown
-	closed bool
+	mu       sync.Mutex
+	recvQ    []transport.Frame
+	conns    map[net.Conn]struct{}        // inbound, closed on shutdown
+	bySender map[ids.ProcessorID]net.Conn // current inbound link per sender
+	closed   bool
 
 	notify  chan struct{}
 	closeCh chan struct{}
@@ -144,13 +150,14 @@ func New(cfg Config) (*Endpoint, error) {
 		}
 	}
 	e := &Endpoint{
-		cfg:     cfg,
-		self:    cfg.Self,
-		ln:      ln,
-		peers:   make(map[ids.ProcessorID]*peer, len(cfg.Peers)),
-		conns:   make(map[net.Conn]struct{}),
-		notify:  make(chan struct{}, 1),
-		closeCh: make(chan struct{}),
+		cfg:      cfg,
+		self:     cfg.Self,
+		ln:       ln,
+		peers:    make(map[ids.ProcessorID]*peer, len(cfg.Peers)),
+		conns:    make(map[net.Conn]struct{}),
+		bySender: make(map[ids.ProcessorID]net.Conn),
+		notify:   make(chan struct{}, 1),
+		closeCh:  make(chan struct{}),
 	}
 	for id, addr := range cfg.Peers {
 		if id == cfg.Self {
@@ -309,20 +316,46 @@ func (e *Endpoint) acceptLoop() {
 }
 
 // serveConn validates the hello then pumps frames into the recv queue
-// until the peer disconnects or desynchronizes.
+// until the peer disconnects, desynchronizes, or is superseded by a newer
+// inbound link from the same sender.
 func (e *Endpoint) serveConn(conn net.Conn) {
 	defer e.wg.Done()
+	var from ids.ProcessorID
+	registered := false
 	defer func() {
 		conn.Close()
 		e.mu.Lock()
 		delete(e.conns, conn)
+		// Only the link that still owns the sender slot vacates it; a
+		// superseded reader exiting later must not evict its successor.
+		if registered && e.bySender[from] == conn {
+			delete(e.bySender, from)
+		}
 		e.mu.Unlock()
 	}()
-	from, err := readHello(conn)
-	if err != nil || from == e.self {
+	var ring int
+	var err error
+	from, ring, err = readHello(conn)
+	if err != nil || from == e.self || ring != e.cfg.Ring {
 		e.cfg.Metrics.RecvDropped.Inc()
 		return
 	}
+	// A redial replaces any previous inbound link from this sender. The
+	// old connection is already dead on the peer's side; without this its
+	// reader goroutine would sit in readFrame on a drained socket forever,
+	// holding the conn (and its kernel buffers) until endpoint shutdown.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	if old, ok := e.bySender[from]; ok && old != conn {
+		old.Close()
+		e.cfg.Metrics.InboundSuperseded.Inc()
+	}
+	e.bySender[from] = conn
+	registered = true
+	e.mu.Unlock()
 	for {
 		payload, err := readFrame(conn)
 		if err != nil {
@@ -356,7 +389,7 @@ func (e *Endpoint) runPeer(p *peer) {
 		for conn == nil {
 			c, err := net.DialTimeout("tcp", p.addr, defaultDialTimeout)
 			if err == nil {
-				err = writeHello(c, e.self)
+				err = writeHello(c, e.self, e.cfg.Ring)
 			}
 			if err == nil {
 				conn = c
@@ -395,27 +428,28 @@ func (e *Endpoint) runPeer(p *peer) {
 	}
 }
 
-func writeHello(conn net.Conn, self ids.ProcessorID) error {
-	var hello [9]byte
+func writeHello(conn net.Conn, self ids.ProcessorID, ring int) error {
+	var hello [13]byte
 	copy(hello[:4], helloMagic[:])
 	hello[4] = helloVersion
 	binary.BigEndian.PutUint32(hello[5:], uint32(self))
+	binary.BigEndian.PutUint32(hello[9:], uint32(ring))
 	_, err := conn.Write(hello[:])
 	return err
 }
 
-func readHello(conn net.Conn) (ids.ProcessorID, error) {
-	var hello [9]byte
+func readHello(conn net.Conn) (ids.ProcessorID, int, error) {
+	var hello [13]byte
 	if _, err := io.ReadFull(conn, hello[:]); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if [4]byte(hello[:4]) != helloMagic {
-		return 0, fmt.Errorf("tcpmesh: bad hello magic %q", hello[:4])
+		return 0, 0, fmt.Errorf("tcpmesh: bad hello magic %q", hello[:4])
 	}
 	if hello[4] != helloVersion {
-		return 0, fmt.Errorf("tcpmesh: unsupported hello version %d", hello[4])
+		return 0, 0, fmt.Errorf("tcpmesh: unsupported hello version %d", hello[4])
 	}
-	return ids.ProcessorID(binary.BigEndian.Uint32(hello[5:])), nil
+	return ids.ProcessorID(binary.BigEndian.Uint32(hello[5:9])), int(binary.BigEndian.Uint32(hello[9:])), nil
 }
 
 func writeFrame(conn net.Conn, payload []byte) error {

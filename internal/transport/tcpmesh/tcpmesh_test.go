@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"immune/internal/ids"
+	"immune/internal/obs"
 	"immune/internal/transport"
 	"immune/internal/transport/transporttest"
 )
@@ -198,7 +199,7 @@ func TestOversizeFrameKillsConnection(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer conn.Close()
-	if err := writeHello(conn, 2); err != nil {
+	if err := writeHello(conn, 2, 0); err != nil {
 		t.Fatalf("hello: %v", err)
 	}
 	// Claim a body far past the limit, then stop: a reader that trusts
@@ -213,6 +214,117 @@ func TestOversizeFrameKillsConnection(t *testing.T) {
 	}
 	if a.Pending() != 0 {
 		t.Fatalf("oversize frame was delivered (%d pending)", a.Pending())
+	}
+}
+
+// TestInboundSuperseded: when a peer redials, the older inbound link from
+// the same sender must be closed (and counted), not left with a reader
+// goroutine draining a dead connection forever. The pre-fix code kept the
+// stale link open, which this test detects as a read timing out instead
+// of failing fast.
+func TestInboundSuperseded(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	reg := obs.NewRegistry()
+	a, err := New(Config{
+		Self:     1,
+		Peers:    map[ids.ProcessorID]string{1: lnA.Addr().String()},
+		Listener: lnA,
+		Seed:     1,
+		Metrics:  transport.MetricsFrom(reg),
+	})
+	if err != nil {
+		t.Fatalf("endpoint: %v", err)
+	}
+	defer a.Close()
+
+	dialAsSender2 := func() net.Conn {
+		t.Helper()
+		conn, err := net.Dial("tcp", a.Addr())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		if err := writeHello(conn, 2, 0); err != nil {
+			t.Fatalf("hello: %v", err)
+		}
+		return conn
+	}
+
+	stale := dialAsSender2()
+	defer stale.Close()
+	// Prove the first link is fully admitted before superseding it.
+	if err := writeFrame(stale, []byte("one")); err != nil {
+		t.Fatalf("frame on first link: %v", err)
+	}
+	if f := waitFrame(t, a, 10*time.Second); string(f.Payload) != "one" {
+		t.Fatalf("got %q, want one", f.Payload)
+	}
+
+	fresh := dialAsSender2()
+	defer fresh.Close()
+
+	// The endpoint must actively close the superseded link: the read
+	// below has to fail with a connection error. A read that instead
+	// rides out the full deadline means the stale reader was left alive.
+	stale.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	_, err = stale.Read(buf)
+	if err == nil {
+		t.Fatal("superseded inbound link delivered data")
+	}
+	if nErr, ok := err.(net.Error); ok && nErr.Timeout() {
+		t.Fatal("superseded inbound link was left open (read timed out instead of being closed)")
+	}
+	if got := reg.Snapshot().Counter("transport.inbound_superseded"); got != 1 {
+		t.Fatalf("transport.inbound_superseded = %d, want 1", got)
+	}
+
+	// The replacement link carries traffic.
+	if err := writeFrame(fresh, []byte("two")); err != nil {
+		t.Fatalf("frame on fresh link: %v", err)
+	}
+	if f := waitFrame(t, a, 10*time.Second); string(f.Payload) != "two" {
+		t.Fatalf("got %q, want two", f.Payload)
+	}
+}
+
+// TestRingMismatchRejected: an inbound link whose hello claims a different
+// ring id is cut — each sharded ring runs its own mesh, and splicing two
+// rings' streams would merge two unrelated total orders.
+func TestRingMismatchRejected(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	a, err := New(Config{
+		Self:     1,
+		Peers:    map[ids.ProcessorID]string{1: lnA.Addr().String()},
+		Listener: lnA,
+		Seed:     1,
+		Ring:     3,
+	})
+	if err != nil {
+		t.Fatalf("endpoint: %v", err)
+	}
+	defer a.Close()
+
+	conn, err := net.Dial("tcp", a.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if err := writeHello(conn, 2, 7); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection survived a ring mismatch")
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("ring-mismatched stream delivered frames (%d pending)", a.Pending())
 	}
 }
 

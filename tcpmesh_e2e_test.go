@@ -76,9 +76,10 @@ func TestSystemOverTCPMesh(t *testing.T) {
 	sys, err := immune.New(immune.Config{
 		Processors: n,
 		Seed:       11,
-		Transport: func(p immune.ProcessorID) (immune.TransportEndpoint, error) {
+		Transport: func(p immune.ProcessorID, ring int) (immune.TransportEndpoint, error) {
 			return tcpmesh.New(tcpmesh.Config{
 				Self:     p,
+				Ring:     ring,
 				Peers:    peers,
 				Listener: listeners[p],
 				Seed:     11,
