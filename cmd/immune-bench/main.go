@@ -61,8 +61,16 @@ func main() {
 		"rings mode only: measurement window per ring count (after warmup)")
 	memCeiling := flag.Int("memceiling", 0,
 		"saturate mode only: fail if peak heap exceeds this many MB (0 disables)")
+	reconfig := flag.Int("reconfig", 0,
+		"run the live-reconfiguration latency benchmark instead: this many add/reweight/drain/restore cycles under background load; p50/p99 per operation, written to -json PATH as the BENCH_4 schema when set")
 	flag.Parse()
 
+	if *reconfig > 0 {
+		if err := runReconfig(*jsonPath, *reconfig, *payload); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *saturate > 0 {
 		if err := runSaturate(*saturate, *payload, *memCeiling); err != nil {
 			log.Fatal(err)

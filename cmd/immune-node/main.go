@@ -65,8 +65,10 @@ func run() error {
 		ops       = flag.Int("ops", 5, "deposits each teller performs")
 		rings     = flag.Int("rings", 1, "token rings to shard object groups over; ring r listens on port+1000*r")
 		runFor    = flag.Duration("run", 0, "server-only lifetime; 0 means until SIGINT/SIGTERM")
-		timeout   = flag.Duration("timeout", 90*time.Second, "client deadline for completing all operations")
-		metrics   = flag.Bool("metrics", false, "dump transport metrics on exit")
+		drainTO   = flag.Duration("drain-timeout", 10*time.Second,
+			"graceful-drain budget on SIGINT/SIGTERM: local replicas migrate and memberships are left voluntarily before exit; 0 stops immediately")
+		timeout = flag.Duration("timeout", 90*time.Second, "client deadline for completing all operations")
+		metrics = flag.Bool("metrics", false, "dump transport metrics on exit")
 	)
 	flag.Parse()
 
@@ -159,26 +161,56 @@ func run() error {
 	}
 
 	if len(clients) == 0 {
-		return serveUntilDone(*runFor)
+		return serveUntilDone(sys, *runFor, *drainTO)
 	}
 	return runTellers(clients, *ops, *timeout)
 }
 
 // serveUntilDone keeps a server-only process alive for the configured
-// lifetime, or until a signal arrives.
-func serveUntilDone(d time.Duration) error {
+// lifetime, or until a signal arrives. A signal triggers a graceful
+// drain (bounded by drainTO) so peer processes excise this one
+// administratively instead of through suspicion strikes; lifetime expiry
+// exits without draining, preserving crash-style shutdown for tests that
+// exercise the fault detectors.
+func serveUntilDone(sys *immune.System, d, drainTO time.Duration) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	if d <= 0 {
 		<-sig
-		log.Printf("shutting down on signal")
-		return nil
+		return drainOnSignal(sys, sig, drainTO)
 	}
 	select {
 	case <-sig:
-		log.Printf("shutting down on signal")
+		return drainOnSignal(sys, sig, drainTO)
 	case <-time.After(d):
 		log.Printf("lifetime %v elapsed, shutting down", d)
+	}
+	return nil
+}
+
+// drainOnSignal runs the graceful drain with a forced-stop fallback: if
+// the drain exceeds its budget (a replica that cannot migrate, a wedged
+// peer) or a second signal arrives, the process stops immediately and
+// the peers fall back to excluding it through the fault detector.
+func drainOnSignal(sys *immune.System, sig <-chan os.Signal, drainTO time.Duration) error {
+	if drainTO <= 0 {
+		log.Printf("shutting down on signal (drain disabled)")
+		return nil
+	}
+	log.Printf("signal received, draining (budget %v; signal again to force)", drainTO)
+	done := make(chan error, 1)
+	go func() { done <- sys.Drain(drainTO) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Printf("drain incomplete, forcing stop: %v", err)
+		} else {
+			log.Printf("drain complete, shutting down")
+		}
+	case <-sig:
+		log.Printf("second signal, forcing stop")
+	case <-time.After(drainTO + 2*time.Second):
+		log.Printf("drain overran its budget, forcing stop")
 	}
 	return nil
 }

@@ -365,6 +365,44 @@ func (s *System) WaitGroupActive(g GroupID, want int, timeout time.Duration) err
 	return s.inner.WaitGroupActive(g, want, timeout)
 }
 
+// AddProcessor adds a processor to the running system without stopping
+// it: the identifier's keys are derived from the shared seed, its
+// stacks start outside every ring's membership, the live members admit
+// it through the membership protocol, and its directories catch up from
+// a continuing member's dump. A previously drained processor is
+// re-admitted in place. Blocks until the processor is a full member on
+// every ring or the timeout (0 means a 30s default) expires.
+func (s *System) AddProcessor(id ProcessorID, timeout time.Duration) error {
+	return s.inner.AddProcessor(id, timeout)
+}
+
+// DrainProcessor withdraws a processor for maintenance without tripping
+// fault detectors: no new replicas are placed on it, its hosted
+// replicas migrate away (add-before-remove with majority-voted state
+// transfer for groups hosted via HostGroup; quorum-fenced excision
+// otherwise), and it then leaves each ring's membership voluntarily.
+// The drain aborts if a replica can neither migrate nor safely leave.
+func (s *System) DrainProcessor(id ProcessorID, timeout time.Duration) error {
+	return s.inner.DrainProcessor(id, timeout)
+}
+
+// ResizeGroup changes a HostGroup-hosted group's replication degree
+// while invocations keep flowing. Growth rides the majority-voted state
+// transfer; a shrink is rejected if the new degree would dip below the
+// live replicas' voting quorum (⌈(live+1)/2⌉) or the group is degraded.
+func (s *System) ResizeGroup(g GroupID, degree int, timeout time.Duration) error {
+	return s.inner.ResizeGroup(g, degree, timeout)
+}
+
+// Drain gracefully withdraws every processor this OS process hosts:
+// local replicas are excised and each local stack leaves its ring's
+// membership voluntarily, so peer processes excise this one without
+// suspicion strikes. Call Stop afterwards. This is the multi-process
+// (cmd/immune-node) counterpart of DrainProcessor.
+func (s *System) Drain(timeout time.Duration) error {
+	return s.inner.DrainLocal(timeout)
+}
+
 // Health reporting types (see internal/recovery).
 type (
 	// Health is a point-in-time snapshot of system survivability.

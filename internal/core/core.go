@@ -202,20 +202,44 @@ type System struct {
 	cfg     Config
 	rings   int
 	nets    []*netsim.Network // one per ring; empty when Config.Transport supplies endpoints
-	procs   map[ids.ProcessorID]*Processor
-	order   []ids.ProcessorID // processors hosted in this OS process
-	members []ids.ProcessorID // full ring membership (1..Processors)
 	rec     *recovery.Manager
 	reg     *obs.Registry // nil when DisableMetrics
 	tracer  *obs.Tracer   // nil when DisableMetrics
 	actCh   chan struct{} // edge-trigger: replica activity (WaitGroupActive)
+	keyRing *sec.KeyRing
+	keys    map[ids.ProcessorID]*sec.KeyPair
 
 	// Cross-ring observability (no-ops when metrics are disabled).
 	mirrorsSent   *obs.Counter
 	mirrorDropped *obs.Counter
 	crossRouted   *obs.Counter
 
+	// Reconfiguration observability (no-ops when metrics are disabled).
+	joinsDone     *obs.Counter
+	drainsDone    *obs.Counter
+	resizesDone   *obs.Counter
+	joinLatency   *obs.Histogram
+	drainLatency  *obs.Histogram
+	resizeLatency *obs.Histogram
+
 	stopOnce sync.Once
+
+	// topoMu guards the processor topology, which live reconfiguration
+	// (AddProcessor / DrainProcessor) mutates on a running system. Plain
+	// reads far outnumber writes, so readers take the R side.
+	topoMu   sync.RWMutex
+	procs    map[ids.ProcessorID]*Processor
+	order    []ids.ProcessorID        // processors hosted in this OS process
+	members  []ids.ProcessorID        // full ring membership
+	draining map[ids.ProcessorID]bool // drain requested or completed: no new placements
+	drained  map[ids.ProcessorID]bool // drain completed: stacks stopped, endpoints retained
+
+	// reconfigMu serializes reconfiguration operations (add, drain,
+	// resize). Serialization is load-bearing for safety: each drain's
+	// quorum fence evaluates against a topology no concurrent drain is
+	// mutating, so two racing drains cannot both pass a fence only one
+	// of them satisfies.
+	reconfigMu sync.Mutex
 
 	mu      sync.Mutex
 	started bool
@@ -283,19 +307,27 @@ func NewSystem(cfg Config) (*System, error) {
 	tracer := obs.NewTracer(reg)
 
 	s := &System{
-		cfg:    cfg,
-		rings:  rings,
-		procs:  make(map[ids.ProcessorID]*Processor, cfg.Processors),
-		specs:  make(map[ids.ObjectGroupID]*groupSpec),
-		reg:    reg,
-		tracer: tracer,
-		actCh:  make(chan struct{}, 1),
+		cfg:      cfg,
+		rings:    rings,
+		procs:    make(map[ids.ProcessorID]*Processor, cfg.Processors),
+		specs:    make(map[ids.ObjectGroupID]*groupSpec),
+		draining: make(map[ids.ProcessorID]bool),
+		drained:  make(map[ids.ProcessorID]bool),
+		reg:      reg,
+		tracer:   tracer,
+		actCh:    make(chan struct{}, 1),
 	}
 	if rings > 1 {
 		s.mirrorsSent = reg.Counter("core.mirrors_sent")
 		s.mirrorDropped = reg.Counter("core.mirror_dropped")
 		s.crossRouted = reg.Counter("core.cross_ring_routed")
 	}
+	s.joinsDone = reg.Counter("reconfig.joins")
+	s.drainsDone = reg.Counter("reconfig.drains")
+	s.resizesDone = reg.Counter("reconfig.resizes")
+	s.joinLatency = reg.Histogram("reconfig.join_latency")
+	s.drainLatency = reg.Histogram("reconfig.drain_latency")
+	s.resizeLatency = reg.Histogram("reconfig.resize_latency")
 
 	// Everything constructed before a failure must be torn down on that
 	// failure: transport endpoints own sockets and goroutines, simulated
@@ -358,110 +390,23 @@ func NewSystem(cfg Config) (*System, error) {
 	// public key while using only its own private one. One keypair per
 	// processor serves all of its rings (KeyPair is immutable after
 	// generation, so per-ring suites may share it).
-	keyRing := sec.NewKeyRing()
-	keys := make(map[ids.ProcessorID]*sec.KeyPair, cfg.Processors)
+	s.keyRing = sec.NewKeyRing()
+	s.keys = make(map[ids.ProcessorID]*sec.KeyPair, cfg.Processors)
 	if cfg.Level >= sec.LevelSignatures {
 		for _, p := range members {
-			kp, err := sec.GenerateKeyPair(cfg.ModulusBits, sec.NewSeededReader(cfg.Seed^(uint64(p)*0x9e3779b9+1)))
-			if err != nil {
-				return nil, fmt.Errorf("core: keygen for %s: %w", p, err)
+			if err := s.deriveKey(p); err != nil {
+				return nil, err
 			}
-			keys[p] = kp
-			keyRing.Register(p, kp.Public())
 		}
 	}
 
 	for _, p := range local {
-		proc := &Processor{
-			id:     p,
-			sys:    s,
-			eps:    make([]transport.Endpoint, rings),
-			stacks: make([]*smp.Stack, rings),
-			mgrs:   make([]*replication.Manager, rings),
+		proc, err := s.buildProcessor(p, false, nil)
+		if err != nil {
+			return nil, err
 		}
-		for r := 0; r < rings; r++ {
-			var ep transport.Endpoint
-			var err error
-			if cfg.Transport != nil {
-				ep, err = cfg.Transport(p, r)
-				if err == nil {
-					createdEps = append(createdEps, ep)
-				}
-			} else {
-				ep, err = s.nets[r].Attach(p)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("core: attach %s ring %d: %w", p, r, err)
-			}
-			suite, err := sec.NewSuite(cfg.Level, p, keys[p], keyRing)
-			if err != nil {
-				return nil, fmt.Errorf("core: suite for %s: %w", p, err)
-			}
-			suite.WorkFactor = cfg.CryptoWorkFactor
-
-			r := r // captured by Deliver/OnMembershipChange below
-			stack, err := smp.New(smp.Config{
-				Self:            p,
-				Members:         members,
-				Suite:           suite,
-				Endpoint:        ep,
-				MaxPerVisit:     cfg.MaxPerVisit,
-				MaxSubmitQueue:  cfg.MaxSubmitQueue,
-				MaxUnstable:     cfg.MaxUnstable,
-				IdleDelay:       cfg.IdleDelay,
-				PollInterval:    cfg.PollInterval,
-				SuspectTimeout:  cfg.SuspectTimeout,
-				StrikeThreshold: cfg.StrikeThreshold,
-				Metrics:         smp.MetricsFromPrefix(reg, metricPrefix(r, rings)),
-				Deliver: func(d smp.Delivery) {
-					proc.mgrs[r].HandleDelivery(d.Payload)
-				},
-				OnMembershipChange: func(inst membership.Install) {
-					proc.mgrs[r].OnMembershipInstall(uint64(inst.ID), inst.Members, inst.Behind)
-					s.rec.Kick()
-					if cfg.OnMembershipChange != nil {
-						cfg.OnMembershipChange(p, inst)
-					}
-				},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("core: stack for %s ring %d: %w", p, r, err)
-			}
-			proc.eps[r] = ep
-			proc.stacks[r] = stack
-
-			mgrCfg := replication.Config{
-				Stack:       stack,
-				Processors:  cfg.Processors,
-				CallTimeout: cfg.CallTimeout,
-				Retries:     cfg.InvokeRetries,
-				Jitter:      sec.NewSeededRand(cfg.Seed ^ (uint64(p)*0xbf58476d1ce4e5b9 + 3) ^ ringSeedSalt(r)),
-				MaxInFlight: cfg.MaxInFlight,
-				MaxBacklog:  cfg.MaxBacklog,
-				BacklogTTL:  cfg.BacklogTTL,
-				OnChange:    s.notifyActivity,
-				Metrics:     replication.MetricsFrom(reg),
-				Tracer:      tracer,
-				InvVoting:   voting.MetricsFrom(reg, "voting.inv"),
-				RespVoting:  voting.MetricsFrom(reg, "voting.resp"),
-			}
-			if rings > 1 {
-				mgrCfg.Route = func(dest ids.ObjectGroupID, payload []byte) error {
-					target := RingOf(dest, rings)
-					if target != r {
-						s.crossRouted.Inc()
-					}
-					return proc.stacks[target].Submit(payload)
-				}
-				mgrCfg.Mirror = func(msg *group.Message) {
-					s.mirrorMembership(proc, r, msg)
-				}
-			}
-			mgr, err := replication.NewManager(mgrCfg)
-			if err != nil {
-				return nil, fmt.Errorf("core: manager for %s ring %d: %w", p, r, err)
-			}
-			proc.mgrs[r] = mgr
+		if cfg.Transport != nil {
+			createdEps = append(createdEps, proc.eps...)
 		}
 		s.procs[p] = proc
 	}
@@ -480,6 +425,142 @@ func NewSystem(cfg Config) (*System, error) {
 	s.rec = rec
 	ok = true
 	return s, nil
+}
+
+// deriveKey generates and registers processor p's keypair from the
+// shared seed. Deterministic: every process (and every later
+// AddProcessor of the same identifier) derives the same pair, so
+// multi-process deployments agree on the keyring without exchanging key
+// material.
+func (s *System) deriveKey(p ids.ProcessorID) error {
+	if _, ok := s.keys[p]; ok {
+		return nil
+	}
+	kp, err := sec.GenerateKeyPair(s.cfg.ModulusBits, sec.NewSeededReader(s.cfg.Seed^(uint64(p)*0x9e3779b9+1)))
+	if err != nil {
+		return fmt.Errorf("core: keygen for %s: %w", p, err)
+	}
+	s.keys[p] = kp
+	s.keyRing.Register(p, kp.Public())
+	return nil
+}
+
+// buildProcessor constructs one processor's per-ring endpoints, protocol
+// stacks, and Replication Managers. joining builds every stack outside
+// any membership — for a processor added to a running system, which the
+// live members admit through the membership protocol (its managers start
+// unsynced and catch up from a directory dump). reuse supplies existing
+// endpoints (a drained processor re-added in place keeps its original
+// network attachments, which cannot be re-created on the simulated LAN);
+// nil attaches fresh ones. On error any transport endpoint this call
+// created is closed; simulated-LAN attachments are owned by the networks.
+func (s *System) buildProcessor(p ids.ProcessorID, joining bool, reuse []transport.Endpoint) (*Processor, error) {
+	cfg := s.cfg
+	rings := s.rings
+	proc := &Processor{
+		id:     p,
+		sys:    s,
+		eps:    make([]transport.Endpoint, rings),
+		stacks: make([]*smp.Stack, rings),
+		mgrs:   make([]*replication.Manager, rings),
+	}
+	var createdEps []transport.Endpoint
+	fail := func(err error) (*Processor, error) {
+		for _, ep := range createdEps {
+			ep.Close()
+		}
+		return nil, err
+	}
+	for r := 0; r < rings; r++ {
+		var ep transport.Endpoint
+		var err error
+		switch {
+		case reuse != nil:
+			ep = reuse[r]
+		case cfg.Transport != nil:
+			ep, err = cfg.Transport(p, r)
+			if err == nil {
+				createdEps = append(createdEps, ep)
+			}
+		default:
+			ep, err = s.nets[r].Attach(p)
+		}
+		if err != nil {
+			return fail(fmt.Errorf("core: attach %s ring %d: %w", p, r, err))
+		}
+		suite, err := sec.NewSuite(cfg.Level, p, s.keys[p], s.keyRing)
+		if err != nil {
+			return fail(fmt.Errorf("core: suite for %s: %w", p, err))
+		}
+		suite.WorkFactor = cfg.CryptoWorkFactor
+
+		r := r // captured by Deliver/OnMembershipChange below
+		stack, err := smp.New(smp.Config{
+			Self:            p,
+			Members:         s.members,
+			Joining:         joining,
+			Suite:           suite,
+			Endpoint:        ep,
+			MaxPerVisit:     cfg.MaxPerVisit,
+			MaxSubmitQueue:  cfg.MaxSubmitQueue,
+			MaxUnstable:     cfg.MaxUnstable,
+			IdleDelay:       cfg.IdleDelay,
+			PollInterval:    cfg.PollInterval,
+			SuspectTimeout:  cfg.SuspectTimeout,
+			StrikeThreshold: cfg.StrikeThreshold,
+			Metrics:         smp.MetricsFromPrefix(s.reg, metricPrefix(r, rings)),
+			Deliver: func(d smp.Delivery) {
+				proc.mgrs[r].HandleDelivery(d.Payload)
+			},
+			OnMembershipChange: func(inst membership.Install) {
+				proc.mgrs[r].OnMembershipInstall(uint64(inst.ID), inst.Members, inst.Behind)
+				s.rec.Kick()
+				if cfg.OnMembershipChange != nil {
+					cfg.OnMembershipChange(p, inst)
+				}
+			},
+		})
+		if err != nil {
+			return fail(fmt.Errorf("core: stack for %s ring %d: %w", p, r, err))
+		}
+		proc.eps[r] = ep
+		proc.stacks[r] = stack
+
+		mgrCfg := replication.Config{
+			Stack:       stack,
+			Processors:  cfg.Processors,
+			CallTimeout: cfg.CallTimeout,
+			Retries:     cfg.InvokeRetries,
+			Jitter:      sec.NewSeededRand(cfg.Seed ^ (uint64(p)*0xbf58476d1ce4e5b9 + 3) ^ ringSeedSalt(r)),
+			MaxInFlight: cfg.MaxInFlight,
+			MaxBacklog:  cfg.MaxBacklog,
+			BacklogTTL:  cfg.BacklogTTL,
+			OnChange:    s.notifyActivity,
+			Metrics:     replication.MetricsFrom(s.reg),
+			Tracer:      s.tracer,
+			InvVoting:   voting.MetricsFrom(s.reg, "voting.inv"),
+			RespVoting:  voting.MetricsFrom(s.reg, "voting.resp"),
+			Joining:     joining,
+		}
+		if rings > 1 {
+			mgrCfg.Route = func(dest ids.ObjectGroupID, payload []byte) error {
+				target := RingOf(dest, rings)
+				if target != r {
+					s.crossRouted.Inc()
+				}
+				return proc.stacks[target].Submit(payload)
+			}
+			mgrCfg.Mirror = func(msg *group.Message) {
+				s.mirrorMembership(proc, r, msg)
+			}
+		}
+		mgr, err := replication.NewManager(mgrCfg)
+		if err != nil {
+			return fail(fmt.Errorf("core: manager for %s ring %d: %w", p, r, err))
+		}
+		proc.mgrs[r] = mgr
+	}
+	return proc, nil
 }
 
 // RingCount returns the number of rings this system shards groups over.
@@ -527,11 +608,17 @@ func (s *System) mirrorMembership(proc *Processor, homeRing int, msg *group.Mess
 // (largest install, then largest membership — a detached processor's
 // singleton view loses — then lowest identifier). Total order makes every
 // synced directory at the same install identical, so any such member
-// serves.
+// serves. Draining processors are skipped: they remain correct members
+// until excised, but their stacks may stop at any moment.
 func (s *System) reference(ring int) *Processor {
+	s.topoMu.RLock()
+	defer s.topoMu.RUnlock()
 	var best *Processor
 	var bestInst membership.Install
 	for _, id := range s.order {
+		if s.draining[id] {
+			continue
+		}
 		p := s.procs[id]
 		if !p.mgrs[ring].Synced() {
 			continue
@@ -638,7 +725,12 @@ func (c clusterAdapter) Load(p ids.ProcessorID) int {
 }
 
 func (c clusterAdapter) Ready(p ids.ProcessorID) bool {
+	c.s.topoMu.RLock()
 	proc, ok := c.s.procs[p]
+	if ok && c.s.draining[p] {
+		ok = false // draining: no new placements land here
+	}
+	c.s.topoMu.RUnlock()
 	if !ok {
 		return false
 	}
@@ -651,7 +743,9 @@ func (c clusterAdapter) Ready(p ids.ProcessorID) bool {
 }
 
 func (c clusterAdapter) Place(p ids.ProcessorID, g ids.ObjectGroupID) (recovery.Placement, error) {
+	c.s.topoMu.RLock()
 	proc, ok := c.s.procs[p]
+	c.s.topoMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: no processor %s", p)
 	}
@@ -681,14 +775,27 @@ func (s *System) Start() {
 		return
 	}
 	s.started = true
-	for _, p := range s.order {
-		for _, stack := range s.procs[p].stacks {
+	for _, p := range s.localProcs() {
+		for _, stack := range p.stacks {
 			stack.Start()
 		}
 	}
 	if s.cfg.AutoRecover {
 		s.rec.Start()
 	}
+}
+
+// localProcs snapshots the locally hosted processors under the topology
+// lock, so callers may iterate (and block on stack operations) without
+// holding it.
+func (s *System) localProcs() []*Processor {
+	s.topoMu.RLock()
+	defer s.topoMu.RUnlock()
+	procs := make([]*Processor, 0, len(s.order))
+	for _, id := range s.order {
+		procs = append(procs, s.procs[id])
+	}
+	return procs
 }
 
 // Stop shuts the system down. It is idempotent and safe to call
@@ -700,8 +807,9 @@ func (s *System) Stop() {
 
 func (s *System) teardown() {
 	s.rec.Stop() // no placements during teardown
-	for _, p := range s.order {
-		for _, stack := range s.procs[p].stacks {
+	procs := s.localProcs()
+	for _, p := range procs {
+		for _, stack := range p.stacks {
 			stack.Stop()
 		}
 	}
@@ -709,8 +817,8 @@ func (s *System) teardown() {
 		n.Close()
 	}
 	if s.cfg.Transport != nil {
-		for _, p := range s.order {
-			for _, ep := range s.procs[p].eps {
+		for _, p := range procs {
+			for _, ep := range p.eps {
 				ep.Close()
 			}
 		}
@@ -719,7 +827,9 @@ func (s *System) teardown() {
 
 // Processor returns the processor with the given identifier.
 func (s *System) Processor(id ids.ProcessorID) (*Processor, error) {
+	s.topoMu.RLock()
 	p, ok := s.procs[id]
+	s.topoMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: no processor %s", id)
 	}
@@ -728,12 +838,18 @@ func (s *System) Processor(id ids.ProcessorID) (*Processor, error) {
 
 // Processors returns all processor identifiers in order.
 func (s *System) Processors() []ids.ProcessorID {
+	s.topoMu.RLock()
+	defer s.topoMu.RUnlock()
 	return append([]ids.ProcessorID(nil), s.order...)
 }
 
 // MaxFaulty returns the fault budget of this deployment, computed over
 // the full ring membership (which may span OS processes).
-func (s *System) MaxFaulty() int { return MaxFaulty(len(s.members)) }
+func (s *System) MaxFaulty() int {
+	s.topoMu.RLock()
+	defer s.topoMu.RUnlock()
+	return MaxFaulty(len(s.members))
+}
 
 // CrashProcessor simulates a processor crash: the processor drops off
 // every ring's LAN (Table 1: processor crash). The survivors' fault
@@ -791,18 +907,34 @@ func (s *System) HostGroup(g ids.ObjectGroupID, objectKey string, degree int,
 	if factory == nil {
 		return nil, fmt.Errorf("core: servant factory required")
 	}
+	s.topoMu.RLock()
 	if degree <= 0 || degree > len(s.order) {
+		s.topoMu.RUnlock()
 		return nil, fmt.Errorf("core: degree %d with %d processors", degree, len(s.order))
 	}
 	hosts := on
 	if len(hosts) == 0 {
-		hosts = s.order[:degree]
+		// First degree non-draining processors: a draining host would be
+		// evicted again moments later by its own migration.
+		for _, p := range s.order {
+			if len(hosts) == degree {
+				break
+			}
+			if !s.draining[p] {
+				hosts = append(hosts, p)
+			}
+		}
 	}
+	procs := make(map[ids.ProcessorID]*Processor, len(hosts))
+	for _, p := range hosts {
+		procs[p] = s.procs[p]
+	}
+	s.topoMu.RUnlock()
 	if len(hosts) != degree {
 		return nil, fmt.Errorf("core: %d hosts for degree %d", len(hosts), degree)
 	}
 	for _, p := range hosts {
-		if _, ok := s.procs[p]; !ok {
+		if procs[p] == nil {
 			return nil, fmt.Errorf("core: no processor %s", p)
 		}
 	}
@@ -823,7 +955,7 @@ func (s *System) HostGroup(g ids.ObjectGroupID, objectKey string, degree int,
 		delete(s.specs, g)
 		s.mu.Unlock()
 		for _, p := range placed {
-			_ = s.procs[p].mgrFor(g).EvictReplica(ids.ReplicaID{Group: g, Processor: p})
+			_ = procs[p].mgrFor(g).EvictReplica(ids.ReplicaID{Group: g, Processor: p})
 		}
 	}
 	if err := s.rec.Register(g, degree); err != nil {
@@ -833,7 +965,7 @@ func (s *System) HostGroup(g ids.ObjectGroupID, objectKey string, degree int,
 	handles := make([]*replication.Handle, 0, degree)
 	placed := make([]ids.ProcessorID, 0, degree)
 	for _, p := range hosts {
-		h, err := s.procs[p].mgrFor(g).HostReplica(g, objectKey, factory())
+		h, err := procs[p].mgrFor(g).HostReplica(g, objectKey, factory())
 		if err != nil {
 			rollback(placed)
 			return nil, err

@@ -95,7 +95,14 @@ type Config struct {
 	Suite *sec.Suite
 	Trans Transport
 	// Initial is the first installed membership (install 1, ring 1).
+	// Ignored when Joining is set.
 	Initial []ids.ProcessorID
+	// Joining starts the processor outside any membership (live
+	// reconfiguration: a processor added to a running system). The
+	// initial view is empty; the processor waits for a member's Announce,
+	// adopts the advertised view, and requests admission exactly like a
+	// repaired processor (Eventual Inclusion, Table 4).
+	Joining bool
 	// Source is the local Byzantine fault detector.
 	Source SuspectSource
 	// Bridge reaches the live ring for the flush exchange.
@@ -132,8 +139,11 @@ type Membership struct {
 	cfg Config
 	now func() time.Time
 
-	current Install
-	joined  map[ids.ProcessorID]bool // non-members asking to join
+	current   Install
+	joined    map[ids.ProcessorID]bool // non-members asking to join
+	departed  map[ids.ProcessorID]bool // members that announced a voluntary leave
+	leaving   bool                     // this processor announced its own leave
+	lastLeave time.Time
 
 	forming      bool
 	attempt      uint64
@@ -152,7 +162,7 @@ type Membership struct {
 
 // New validates the configuration and installs the initial membership.
 func New(cfg Config) (*Membership, error) {
-	if len(cfg.Initial) == 0 {
+	if len(cfg.Initial) == 0 && !cfg.Joining {
 		return nil, fmt.Errorf("membership: empty initial membership")
 	}
 	if cfg.OnInstall == nil {
@@ -179,6 +189,20 @@ func New(cfg Config) (*Membership, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	m := &Membership{
+		cfg:          cfg,
+		now:          cfg.Now,
+		joined:       make(map[ids.ProcessorID]bool),
+		departed:     make(map[ids.ProcessorID]bool),
+		proposals:    make(map[ids.ProcessorID]*wire.Membership),
+		suspectVotes: make(map[ids.ProcessorID]map[ids.ProcessorID]bool),
+	}
+	if cfg.Joining {
+		// Outside any membership: install 0 is a sentinel no real view
+		// ever uses, so the first adopted Announce always supersedes it.
+		m.current = Install{}
+		return m, nil
+	}
 	initial := wire.SortProcessors(append([]ids.ProcessorID(nil), cfg.Initial...))
 	selfIn := false
 	for _, p := range initial {
@@ -189,14 +213,7 @@ func New(cfg Config) (*Membership, error) {
 	if !selfIn {
 		return nil, fmt.Errorf("membership: self %s not in initial membership", cfg.Self)
 	}
-	m := &Membership{
-		cfg:          cfg,
-		now:          cfg.Now,
-		joined:       make(map[ids.ProcessorID]bool),
-		proposals:    make(map[ids.ProcessorID]*wire.Membership),
-		suspectVotes: make(map[ids.ProcessorID]map[ids.ProcessorID]bool),
-		current:      Install{ID: 1, Ring: 1, Members: initial},
-	}
+	m.current = Install{ID: 1, Ring: 1, Members: initial}
 	return m, nil
 }
 
@@ -232,6 +249,15 @@ func MinCorrect(n int) int { return (2*n + 1 + 2) / 3 }
 // proposal re-multicast, flush exchange, unresponsive detection, and the
 // install decision.
 func (m *Membership) Tick() {
+	if m.leaving {
+		// A leaver neither proposes nor adopts: it re-advertises its
+		// departure until the survivors install a view without it (the
+		// upper layer then stops this stack).
+		if m.now().Sub(m.lastLeave) >= m.cfg.RejoinInterval {
+			m.sendLeave()
+		}
+		return
+	}
 	if !m.forming {
 		if m.needChange() {
 			m.beginForming()
@@ -282,6 +308,9 @@ func (m *Membership) maintain() {
 		}
 		return
 	}
+	if m.current.ID == 0 {
+		return // joining from scratch: wait for an Announce to adopt
+	}
 	if now.Sub(m.lastRejoin) < m.cfg.RejoinInterval {
 		return
 	}
@@ -289,11 +318,44 @@ func (m *Membership) maintain() {
 	m.RequestJoin(m.current)
 }
 
+// Leave announces this processor's voluntary departure (maintenance
+// drain). The leave message is re-multicast from Tick until the upper
+// layer stops the stack; survivors exclude the processor administratively,
+// with no fault-detector strikes. Irreversible for this instance — a
+// drained processor rejoins with a fresh stack.
+func (m *Membership) Leave() {
+	if m.leaving {
+		return
+	}
+	m.leaving = true
+	m.forming = false
+	m.myProposal = nil
+	m.sendLeave()
+}
+
+// Leaving reports whether this processor has announced its departure.
+func (m *Membership) Leaving() bool { return m.leaving }
+
+// sendLeave signs and multicasts the departure announcement.
+func (m *Membership) sendLeave() {
+	m.lastLeave = m.now()
+	msg := &wire.Membership{
+		Sender:    m.cfg.Self,
+		Kind:      wire.MembershipLeave,
+		InstallID: m.current.ID,
+		NewRing:   m.current.Ring,
+	}
+	if err := m.sign(msg); err != nil {
+		return
+	}
+	m.cfg.Trans.Multicast(msg.Marshal())
+}
+
 // needChange reports whether the installed view conflicts with the
 // detector's suspicions or pending joins.
 func (m *Membership) needChange() bool {
 	for _, p := range m.current.Members {
-		if p != m.cfg.Self && m.cfg.Source.Suspected(p) {
+		if p != m.cfg.Self && (m.cfg.Source.Suspected(p) || m.departed[p]) {
 			return true
 		}
 	}
@@ -327,6 +389,9 @@ func (m *Membership) recomputeProposal() {
 	}
 	for _, s := range m.cfg.Source.Suspects() {
 		delete(set, s)
+	}
+	for p := range m.departed {
+		delete(set, p)
 	}
 	set[m.cfg.Self] = true // Self-Inclusion (Table 4)
 	proposal := make([]ids.ProcessorID, 0, len(set))
@@ -383,6 +448,19 @@ func (m *Membership) HandleMessage(raw []byte) {
 	if !m.cfg.Suite.VerifyToken(msg.Sender, msg.SignedPortion(), msg.Signature) {
 		return
 	}
+	if m.leaving {
+		return // a leaver neither adopts nor participates in formations
+	}
+	if msg.Kind == wire.MembershipLeave {
+		// A voluntary departure, authenticated by the sender's own
+		// signature: exclude it administratively on the next install, with
+		// no detector strikes. Handled before the install-id gate — the
+		// leaver's view may lag ours.
+		if m.isMember(msg.Sender) {
+			m.departed[msg.Sender] = true
+		}
+		return
+	}
 	if msg.Kind == wire.MembershipAnnounce {
 		// Handled before the install-id and suspicion gates: an excluded
 		// processor's view lags the announcer's, and its detector may hold
@@ -425,8 +503,11 @@ func (m *Membership) HandleMessage(raw []byte) {
 			// filtered by the suspicion check above; once excluded for
 			// a sticky reason they can never rejoin. If the joiner is
 			// already in our proposal, its message also counts as its
-			// proposal for the agreement check below.
+			// proposal for the agreement check below. A fresh join request
+			// clears any earlier voluntary departure: the drained
+			// processor is asking back in.
 			m.joined[msg.Sender] = true
+			delete(m.departed, msg.Sender)
 			if !m.inProposal(msg.Sender) {
 				return
 			}
@@ -717,6 +798,9 @@ func (m *Membership) install(members []ids.ProcessorID, id ids.MembershipID, rin
 	m.current = Install{ID: id, Ring: ring, Members: sorted, Behind: behind}
 	for _, p := range sorted {
 		delete(m.joined, p)
+		// A member of an agreed view is not departed: either it never
+		// left, or it has since rejoined.
+		delete(m.departed, p)
 	}
 	m.installs.Add(1)
 	m.cfg.OnInstall(m.Current())

@@ -13,6 +13,13 @@ type Metrics struct {
 	PlacementFailures *obs.Counter
 	// PlacementsStarted counts placements initiated.
 	PlacementsStarted *obs.Counter
+	// DegradedGroups gauges how many managed groups are currently below
+	// their configured degree — a drain or crash in progress is visible
+	// here without scraping the event log.
+	DegradedGroups *obs.Gauge
+	// CriticalGroups gauges how many managed groups are below the
+	// ⌈(r+1)/2⌉ majority floor (§3.1 hard alarm).
+	CriticalGroups *obs.Gauge
 }
 
 // MetricsFrom registers the recovery metric family in reg. A nil registry
@@ -25,5 +32,7 @@ func MetricsFrom(reg *obs.Registry) Metrics {
 		Rehostings:        reg.Counter("recovery.rehostings"),
 		PlacementFailures: reg.Counter("recovery.placement_failures"),
 		PlacementsStarted: reg.Counter("recovery.placements_started"),
+		DegradedGroups:    reg.Gauge("recovery.degraded_groups"),
+		CriticalGroups:    reg.Gauge("recovery.critical_groups"),
 	}
 }

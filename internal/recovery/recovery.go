@@ -246,6 +246,16 @@ func (m *Manager) Register(g ids.ObjectGroupID, degree int) error {
 func (m *Manager) Deregister(g ids.ObjectGroupID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if st, ok := m.specs[g]; ok {
+		// Keep the health gauges consistent: a deregistered group is no
+		// longer anyone's degradation.
+		if st.degraded {
+			m.cfg.Metrics.DegradedGroups.Add(-1)
+		}
+		if st.critical {
+			m.cfg.Metrics.CriticalGroups.Add(-1)
+		}
+	}
 	delete(m.specs, g)
 }
 
@@ -412,18 +422,24 @@ func (m *Manager) updateFlagsLocked(now time.Time, g ids.ObjectGroupID, st *grou
 	degraded := live < st.degree
 	critical := live < minCorrect(st.degree)
 	if critical && !st.critical {
+		m.cfg.Metrics.CriticalGroups.Add(1)
 		m.eventLocked(Event{
 			Time: now, Kind: EventCritical, Group: g,
 			Detail: fmt.Sprintf("%d/%d live, majority needs %d", live, st.degree, minCorrect(st.degree)),
 		})
 	}
+	if !critical && st.critical {
+		m.cfg.Metrics.CriticalGroups.Add(-1)
+	}
 	if degraded && !st.degraded {
+		m.cfg.Metrics.DegradedGroups.Add(1)
 		m.eventLocked(Event{
 			Time: now, Kind: EventDegraded, Group: g,
 			Detail: fmt.Sprintf("%d/%d live", live, st.degree),
 		})
 	}
 	if !degraded && st.degraded {
+		m.cfg.Metrics.DegradedGroups.Add(-1)
 		m.eventLocked(Event{
 			Time: now, Kind: EventRecovered, Group: g,
 			Detail: fmt.Sprintf("%d/%d live", live, st.degree),

@@ -117,6 +117,12 @@ type Config struct {
 	// change onto other rings' directories. The message must be treated
 	// as read-only; mirror copies are the callee's to build.
 	Mirror func(msg *group.Message)
+	// Joining marks a manager created for a processor being added to a
+	// running system: it starts unsynced (empty directory, refuses to
+	// host) and catches up from a continuing member's directory dump at
+	// the install that admits it — the same path a readmitted excluded
+	// processor takes.
+	Joining bool
 }
 
 // Manager is one processor's Replication Manager.
@@ -314,6 +320,11 @@ func NewManager(cfg Config) (*Manager, error) {
 	m.vfd = newValueFaultDetector(cfg.Processors, func(r ids.ReplicaID) {
 		m.stack.ValueFaultSuspect(r.Processor)
 	})
+	if cfg.Joining {
+		// Await the directory dump of whichever install first admits us;
+		// OnMembershipInstall records its id once it arrives.
+		m.needSync = true
+	}
 	return m, nil
 }
 
@@ -1664,6 +1675,34 @@ func (m *Manager) GroupDegreeHW(g ids.ObjectGroupID) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.degreeHW[g]
+}
+
+// SetGroupDegreeHW overrides a group's high-water degree (live
+// reconfiguration: a deliberate degree change must move the degradation
+// and quorum baselines, or a shrink would read as permanent degradation
+// and a transient migration join would inflate the baseline). Only the
+// error-classification and recovery thresholds change; voting thresholds
+// always follow the live directory.
+func (m *Manager) SetGroupDegreeHW(g ids.ObjectGroupID, degree int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if degree <= 0 {
+		delete(m.degreeHW, g)
+		return
+	}
+	m.degreeHW[g] = degree
+}
+
+// HostedReplicas returns the identities of the replicas this manager
+// currently hosts locally (active or still joining).
+func (m *Manager) HostedReplicas() []ids.ReplicaID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ids.ReplicaID, 0, len(m.hosted))
+	for _, st := range m.hosted {
+		out = append(out, st.id)
+	}
+	return out
 }
 
 // EvictReplica multicasts a Leave on behalf of a replica that cannot

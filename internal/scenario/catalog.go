@@ -12,9 +12,10 @@ import (
 // (steady-state, cascade), send/receive omission via partition
 // (partition-heal), processor crash (crash-recover, cascade), value-faulty
 // replicas (byzantine-burst, cascade) — plus the overload regime the paper
-// never measured (overload-shed) and the multi-ring failure modes the
-// sharded deployment adds (xring-overload, xring-membership,
-// xring-forwarder-crash).
+// never measured (overload-shed), live reconfiguration under load
+// (grow-under-load, drain-under-load, reweight-under-load), and the
+// multi-ring failure modes the sharded deployment adds (xring-overload,
+// xring-membership, xring-forwarder-crash).
 //
 // Durations and rates are sized for CI: each scenario deploys a full
 // system, drives a few seconds of open-loop load, and drains. Latency
@@ -192,6 +193,77 @@ func Catalog() []Scenario {
 				// can decide, so the tail ceiling leaves room for a full
 				// exclusion cycle on an overloaded runner.
 				MaxP999: 12 * time.Second,
+			},
+		},
+		{
+			Name: "grow-under-load",
+			Description: "a seventh processor joins the running ring mid-load: key and " +
+				"directory bootstrap, membership admission, and state-transfer catch-up all " +
+				"happen while invocations flow — no pause, no failed calls",
+			Seed:        110,
+			AutoRecover: true,
+			// Joins churn the membership exactly like an exclusion does; the
+			// generous liveness timeout keeps a loaded runner's formation
+			// rounds from reading innocent members as dead mid-admission.
+			SuspectTimeout: time.Second,
+			Duration:       2500 * time.Millisecond,
+			Load: immune.PacketSourceConfig{
+				Rate: 200, Process: immune.PoissonArrivals, PayloadSize: 16,
+			},
+			Schedule: Schedule{Steps: []Step{
+				{Kind: StepJoin, At: 700 * time.Millisecond, Processors: []immune.ProcessorID{7}},
+			}},
+			SLO: SLO{
+				RequireReconfigClean: true,
+				MinDeliveredFrac:     0.95,
+				MaxErrorFrac:         0.02,
+				MaxP999:              8 * time.Second,
+			},
+		},
+		{
+			Name: "drain-under-load",
+			Description: "a server-hosting processor is drained for maintenance mid-load: its " +
+				"replica migrates away by state transfer, it leaves both memberships " +
+				"voluntarily (no suspicion strikes), and every in-flight invocation " +
+				"completes on the survivors",
+			Seed:           111,
+			AutoRecover:    true,
+			SuspectTimeout: time.Second,
+			Duration:       2500 * time.Millisecond,
+			Load: immune.PacketSourceConfig{
+				Rate: 200, Process: immune.PoissonArrivals, PayloadSize: 16,
+			},
+			Schedule: Schedule{Steps: []Step{
+				{Kind: StepDrain, At: 700 * time.Millisecond, Processors: []immune.ProcessorID{3}},
+			}},
+			SLO: SLO{
+				RequireReconfigClean: true,
+				MinDeliveredFrac:     0.95,
+				MaxErrorFrac:         0.02,
+				MaxP999:              8 * time.Second,
+			},
+		},
+		{
+			Name: "reweight-under-load",
+			Description: "the served group's replication degree is raised 3 -> 4 and later " +
+				"lowered back mid-load: the add rides majority-voted state transfer, the " +
+				"removal is fenced above the quorum floor, and voting never stalls",
+			Seed:           112,
+			AutoRecover:    true,
+			SuspectTimeout: time.Second,
+			Duration:       3 * time.Second,
+			Load: immune.PacketSourceConfig{
+				Rate: 200, Process: immune.PoissonArrivals, PayloadSize: 16,
+			},
+			Schedule: Schedule{Steps: []Step{
+				{Kind: StepResize, At: 600 * time.Millisecond, Group: 1, Degree: 4},
+				{Kind: StepResize, At: 1800 * time.Millisecond, Group: 1, Degree: 3},
+			}},
+			SLO: SLO{
+				RequireReconfigClean: true,
+				MinDeliveredFrac:     0.95,
+				MaxErrorFrac:         0.02,
+				MaxP999:              8 * time.Second,
 			},
 		},
 		{

@@ -202,6 +202,10 @@ type Result struct {
 	Recovered   uint64 `json:"recovered"`
 	ValueFaults uint64 `json:"value_faults"`
 
+	// ReconfigFailed counts scheduled join/drain/resize operations that
+	// returned an error.
+	ReconfigFailed uint64 `json:"reconfig_failed,omitempty"`
+
 	// Latency quantiles of delivered invocations, from the scenario's
 	// internal/obs histogram (bucket-interpolated).
 	P50  time.Duration `json:"p50"`
@@ -364,10 +368,51 @@ func Run(s Scenario) (*Result, error) {
 	loadCfg.Groups = s.Groups
 	arrivals := immune.NewPacketSource(loadCfg).TakeUntil(s.Duration)
 
+	// Reconfiguration steps run asynchronously (a drain blocks until its
+	// migrations settle, and must not stall later timeline actions) but
+	// are awaited before the run is judged, so a straggling operation
+	// cannot touch a stopped system. Failures land in a counter rather
+	// than failing the run: the SLO judges the client-visible outcome.
+	var reconfigWG sync.WaitGroup
+	reconfigFailed := reg.Counter("scenario.reconfig_failed")
+	const reconfigTimeout = 20 * time.Second
+	async := func(op func() error) {
+		reconfigWG.Add(1)
+		go func() {
+			defer reconfigWG.Done()
+			if err := op(); err != nil {
+				reconfigFailed.Inc()
+				if os.Getenv("IMMUNE_SCENARIO_DEBUG") != "" {
+					fmt.Println("DBG reconfig:", err)
+				}
+			}
+		}()
+	}
+
 	var actions []timedAction
 	for _, st := range s.Schedule.Steps {
 		st := st
 		switch st.Kind {
+		case StepJoin:
+			actions = append(actions, timedAction{st.At, func() {
+				for _, pid := range st.Processors {
+					pid := pid
+					async(func() error { return sys.AddProcessor(pid, reconfigTimeout) })
+				}
+			}})
+		case StepDrain:
+			actions = append(actions, timedAction{st.At, func() {
+				for _, pid := range st.Processors {
+					pid := pid
+					async(func() error { return sys.DrainProcessor(pid, reconfigTimeout) })
+				}
+			}})
+		case StepResize:
+			actions = append(actions, timedAction{st.At, func() {
+				async(func() error {
+					return sys.ResizeGroup(immune.GroupID(st.Group), st.Degree, reconfigTimeout)
+				})
+			}})
 		case StepCrash:
 			actions = append(actions, timedAction{st.At, func() {
 				for _, pid := range st.Processors {
@@ -462,6 +507,7 @@ func Run(s Scenario) (*Result, error) {
 	}
 	close(stopTimeline)
 	<-timelineDone
+	reconfigWG.Wait() // reconfigurations are bounded by their own timeout
 
 	if s.SLO.RequireRecovered {
 		// Recovery rides on membership exclusion, which fires a liveness
@@ -495,21 +541,22 @@ func Run(s Scenario) (*Result, error) {
 	}
 	hv := snap.Histograms["scenario.latency"]
 	res := &Result{
-		Name:        s.Name,
-		Seed:        s.Seed,
-		Sent:        uint64(len(arrivals)),
-		Delivered:   snap.Counter("scenario.delivered"),
-		Shed:        snap.Counter("scenario.shed"),
-		Errors:      snap.Counter("scenario.errors"),
-		Recovered:   snap.Counter("recovery.rehostings"),
-		ValueFaults: snap.Counter("rm.value_faults"),
-		P50:         hv.Quantile(0.50),
-		P99:         hv.Quantile(0.99),
-		P999:        hv.Quantile(0.999),
-		Mean:        hv.Mean(),
-		Events:      s.Schedule.Events(),
-		Net:         sys.NetStats(),
-		Elapsed:     time.Since(began),
+		Name:           s.Name,
+		Seed:           s.Seed,
+		Sent:           uint64(len(arrivals)),
+		Delivered:      snap.Counter("scenario.delivered"),
+		Shed:           snap.Counter("scenario.shed"),
+		Errors:         snap.Counter("scenario.errors"),
+		Recovered:      snap.Counter("recovery.rehostings"),
+		ValueFaults:    snap.Counter("rm.value_faults"),
+		ReconfigFailed: snap.Counter("scenario.reconfig_failed"),
+		P50:            hv.Quantile(0.50),
+		P99:            hv.Quantile(0.99),
+		P999:           hv.Quantile(0.999),
+		Mean:           hv.Mean(),
+		Events:         s.Schedule.Events(),
+		Net:            sys.NetStats(),
+		Elapsed:        time.Since(began),
 	}
 	res.Abandoned = res.Sent - res.Delivered - res.Shed - res.Errors
 	for name, v := range snap.Counters {

@@ -51,13 +51,24 @@ const (
 	// replica), to be masked by majority voting and flagged by the value
 	// fault detector.
 	StepByzantine StepKind = "byzantine"
+	// StepJoin adds Processors to the running system at At (live
+	// reconfiguration: capacity growth through the membership protocol
+	// plus directory catch-up). Instantaneous; For is ignored.
+	StepJoin StepKind = "join"
+	// StepDrain drains Processors for maintenance at At: replicas
+	// migrate away, then each leaves its ring memberships voluntarily.
+	// Instantaneous; For is ignored.
+	StepDrain StepKind = "drain"
+	// StepResize changes object group Group's replication degree to
+	// Degree at At (live re-weighting). Instantaneous; For is ignored.
+	StepResize StepKind = "resize"
 )
 
 // windowed reports whether the kind is active over [At, At+For) rather
 // than firing once at At.
 func (k StepKind) windowed() bool {
 	switch k {
-	case StepCrash, StepRestart:
+	case StepCrash, StepRestart, StepJoin, StepDrain, StepResize:
 		return false
 	default:
 		return true
@@ -78,7 +89,7 @@ func (k StepKind) network() bool {
 func (k StepKind) known() bool {
 	switch k {
 	case StepLoss, StepCorrupt, StepDuplicate, StepDelay, StepPartition,
-		StepCrash, StepRestart, StepByzantine:
+		StepCrash, StepRestart, StepByzantine, StepJoin, StepDrain, StepResize:
 		return true
 	default:
 		return false
@@ -99,8 +110,13 @@ type Step struct {
 	P float64 `json:"p,omitempty"`
 	// MaxDelay bounds the extra delay for delay steps.
 	MaxDelay time.Duration `json:"max_delay,omitempty"`
-	// Processors targets partition/crash/restart/byzantine steps.
+	// Processors targets partition/crash/restart/byzantine/join/drain
+	// steps.
 	Processors []immune.ProcessorID `json:"processors,omitempty"`
+	// Group and Degree parameterize resize steps: the object group to
+	// re-weight and its new replication degree.
+	Group  int `json:"group,omitempty"`
+	Degree int `json:"degree,omitempty"`
 }
 
 // active reports whether a windowed step covers the elapsed offset.
@@ -134,9 +150,16 @@ func (s Schedule) Validate() error {
 			if st.MaxDelay <= 0 {
 				return fmt.Errorf("step %d (delay): MaxDelay must be > 0", i)
 			}
-		case StepPartition, StepCrash, StepRestart, StepByzantine:
+		case StepPartition, StepCrash, StepRestart, StepByzantine, StepJoin, StepDrain:
 			if len(st.Processors) == 0 {
 				return fmt.Errorf("step %d (%s): no target processors", i, st.Kind)
+			}
+		case StepResize:
+			if st.Group <= 0 {
+				return fmt.Errorf("step %d (resize): Group must be > 0", i)
+			}
+			if st.Degree <= 0 {
+				return fmt.Errorf("step %d (resize): Degree must be > 0", i)
 			}
 		}
 	}

@@ -36,6 +36,11 @@ type SLO struct {
 	// RequireValueFaults asserts the voters detected at least one lying
 	// replica (rm.value_faults > 0).
 	RequireValueFaults bool `json:"require_value_faults,omitempty"`
+	// RequireReconfigClean asserts every scheduled reconfiguration step
+	// (join, drain, resize) completed without error — the point of a
+	// live-reconfiguration scenario is that the operation itself lands
+	// while the SLO holds.
+	RequireReconfigClean bool `json:"require_reconfig_clean,omitempty"`
 }
 
 // frac returns n/total, 0 when total is 0.
@@ -82,6 +87,9 @@ func (s SLO) Check(r *Result) []string {
 	}
 	if s.RequireValueFaults && r.ValueFaults == 0 {
 		fail("no value faults detected — Byzantine replicas went unnoticed")
+	}
+	if s.RequireReconfigClean && r.ReconfigFailed > 0 {
+		fail("%d reconfiguration operations failed", r.ReconfigFailed)
 	}
 	return v
 }

@@ -33,6 +33,12 @@ type Delivery struct {
 type Config struct {
 	Self    ids.ProcessorID
 	Members []ids.ProcessorID // initial processor membership
+	// Joining starts the stack outside any membership (live
+	// reconfiguration: a processor added to a running system). No ring is
+	// built — the stack behaves like an excluded processor until the
+	// running members announce their view and admit it through the
+	// membership protocol. Members is ignored.
+	Joining bool
 	Suite   *sec.Suite
 	// Endpoint is the processor's attachment to the network: the
 	// deterministic simulator (*netsim.Endpoint) or a real-socket
@@ -91,6 +97,8 @@ type Stack struct {
 	curInst membership.Install
 	pending []membership.Install // installs awaiting event-loop processing
 
+	ctl chan func() // control requests run on the event goroutine
+
 	stop    chan struct{}
 	done    chan struct{}
 	started bool // guarded by mu
@@ -122,6 +130,7 @@ func New(cfg Config) (*Stack, error) {
 
 	s := &Stack{
 		cfg:  cfg,
+		ctl:  make(chan func(), 4),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
@@ -136,13 +145,12 @@ func New(cfg Config) (*Stack, error) {
 			}
 		},
 	})
-	cfg.Metrics.Members.Set(int64(len(cfg.Members)))
-
 	mem, err := membership.New(membership.Config{
 		Self:      cfg.Self,
 		Suite:     cfg.Suite,
 		Trans:     cfg.Endpoint,
 		Initial:   cfg.Members,
+		Joining:   cfg.Joining,
 		Source:    sourceAdapter{det: s.det},
 		Bridge:    bridgeAdapter{s: s},
 		OnInstall: s.queueInstall,
@@ -153,6 +161,15 @@ func New(cfg Config) (*Stack, error) {
 	s.mem = mem
 
 	inst := mem.Current()
+	if cfg.Joining {
+		// Outside the membership: no ring until the running members admit
+		// this processor. The members gauge is shared per ring across
+		// processors; a joiner must not clobber it with its empty view.
+		s.curInst = inst
+		s.det.SetView(nil)
+		return s, nil
+	}
+	cfg.Metrics.Members.Set(int64(len(cfg.Members)))
 	r, err := s.buildRing(inst, nil)
 	if err != nil {
 		return nil, fmt.Errorf("smp %s: %w", cfg.Self, err)
@@ -296,6 +313,21 @@ func (s *Stack) RingStats() ring.Stats {
 // Installs reports how many membership changes have been installed.
 func (s *Stack) Installs() uint64 { return s.mem.Installs() }
 
+// Leave announces this processor's voluntary departure from the
+// membership (maintenance drain): the membership protocol multicasts a
+// signed Leave so the survivors exclude it administratively, without
+// fault-detector strikes. The request runs on the event goroutine; safe
+// from any goroutine. The stack keeps running (re-advertising the
+// departure) until Stop.
+func (s *Stack) Leave() {
+	select {
+	case s.ctl <- func() { s.mem.Leave() }:
+	default:
+		// The control queue is full only if Leave was already requested
+		// repeatedly; dropping a duplicate is harmless.
+	}
+}
+
 // queueInstall records an install decided by the membership protocol; the
 // event loop applies it (it may fire from within HandleMessage, which is
 // already on the event goroutine, but deferring keeps ring swaps at a
@@ -396,6 +428,15 @@ func (s *Stack) loop() {
 				s.dispatch(f)
 			}
 		}
+		for {
+			select {
+			case f := <-s.ctl:
+				f()
+				continue
+			default:
+			}
+			break
+		}
 		now := time.Now()
 		if now.Sub(lastTick) >= s.cfg.PollInterval {
 			lastTick = now
@@ -412,7 +453,10 @@ func (s *Stack) loop() {
 			// that phase. An excluded processor (no ring) observes no
 			// token activity at all, so the walk would only poison its
 			// readmission exchange.
-			if !s.mem.Forming() && cur != nil {
+			// A leaver's liveness walk is equally meaningless: the
+			// survivors abandon its ring the moment they install the view
+			// without it.
+			if !s.mem.Forming() && !s.mem.Leaving() && cur != nil {
 				s.det.Tick()
 			}
 			s.mem.Tick()
@@ -429,6 +473,8 @@ func (s *Stack) loop() {
 			select {
 			case <-s.stop:
 				return
+			case f := <-s.ctl:
+				f()
 			case _, ok := <-notify:
 				if !ok {
 					// Network closed: no more frames will ever arrive.

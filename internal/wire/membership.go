@@ -22,6 +22,11 @@ const (
 	// processors outside it, so that a repaired (previously excluded)
 	// processor learns the authoritative view and can request readmission.
 	MembershipAnnounce
+	// MembershipLeave announces the sender's voluntary departure (planned
+	// maintenance drain). Receivers exclude the sender from the next
+	// install without charging fault-detector strikes: the departure is
+	// administrative, not suspicious.
+	MembershipLeave
 )
 
 // String returns the phase name.
@@ -33,6 +38,8 @@ func (k MembershipKind) String() string {
 		return "commit"
 	case MembershipAnnounce:
 		return "announce"
+	case MembershipLeave:
+		return "leave"
 	default:
 		return fmt.Sprintf("MembershipKind(%d)", byte(k))
 	}
@@ -137,7 +144,7 @@ func UnmarshalMembership(payload []byte) (*Membership, error) {
 	if err := r.done(); err != nil {
 		return nil, err
 	}
-	if m.Kind < MembershipPropose || m.Kind > MembershipAnnounce {
+	if m.Kind < MembershipPropose || m.Kind > MembershipLeave {
 		return nil, fmt.Errorf("wire: invalid membership kind %d", m.Kind)
 	}
 	m.sp = payload[:spEnd:spEnd]

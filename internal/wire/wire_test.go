@@ -316,7 +316,14 @@ func TestAnnounceRoundTrip(t *testing.T) {
 		t.Fatalf("String() = %q", MembershipAnnounce.String())
 	}
 	if _, err := UnmarshalMembership((&Membership{Sender: 1,
-		Kind: MembershipAnnounce + 1, Members: []ids.ProcessorID{1}}).Marshal()); err == nil {
-		t.Fatal("kind past announce accepted")
+		Kind: MembershipLeave, Members: []ids.ProcessorID{1}}).Marshal()); err != nil {
+		t.Fatalf("leave kind rejected: %v", err)
+	}
+	if MembershipLeave.String() != "leave" {
+		t.Fatalf("String() = %q", MembershipLeave.String())
+	}
+	if _, err := UnmarshalMembership((&Membership{Sender: 1,
+		Kind: MembershipLeave + 1, Members: []ids.ProcessorID{1}}).Marshal()); err == nil {
+		t.Fatal("kind past leave accepted")
 	}
 }
